@@ -1,0 +1,70 @@
+"""Distributed (BSP) PKMC vs shared memory — the future-work study.
+
+Quantifies the paper's conclusion caveat: the distributed port pays a
+network round per superstep, so on replica-scale graphs shared memory
+wins, while the early stop becomes *more* valuable (each avoided sweep
+saves a full exchange + barrier).
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.core import pkmc
+from repro.datasets import load_undirected
+from repro.distributed import ClusterConfig, distributed_pkmc
+from repro.runtime import SimRuntime
+
+
+def test_distributed_vs_shared_memory(benchmark, save_result):
+    graph = load_undirected("UN")
+
+    def run_study():
+        shared = pkmc(graph, runtime=SimRuntime(32))
+        curve = {
+            workers: distributed_pkmc(graph, ClusterConfig(num_workers=workers))
+            for workers in (1, 4, 16, 64)
+        }
+        return shared, curve
+
+    shared, curve = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    # Same answer on every configuration.
+    for result in curve.values():
+        assert result.k_star == shared.k_star
+        assert result.vertices.tolist() == shared.vertices.tolist()
+    # More workers help (compute shrinks faster than messages grow here).
+    times = [curve[w].simulated_seconds for w in (1, 4, 16, 64)]
+    assert times[-1] < times[0]
+    # But the network rounds keep BSP behind shared memory at equal scale.
+    assert curve[16].simulated_seconds > shared.simulated_seconds
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        "Distributed PKMC (BSP) vs shared memory on UN",
+        f"shared memory p=32: {shared.simulated_seconds:.6f}s "
+        f"({shared.iterations} sweeps)",
+    ]
+    for workers, result in curve.items():
+        lines.append(
+            f"BSP W={workers:>2}: {result.simulated_seconds:.6f}s, "
+            f"{result.extras['supersteps']} supersteps, "
+            f"{result.extras['total_messages']} messages, "
+            f"cross-edge {result.extras['cross_edge_fraction']:.0%}"
+        )
+    (RESULTS_DIR / "distributed.txt").write_text("\n".join(lines) + "\n")
+
+
+def test_distributed_early_stop_value(benchmark):
+    graph = load_undirected("SK")
+
+    def run_both():
+        fast = distributed_pkmc(graph, ClusterConfig(num_workers=16))
+        slow = distributed_pkmc(
+            graph, ClusterConfig(num_workers=16), early_stop=False
+        )
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert fast.k_star == slow.k_star
+    # Every saved sweep is a saved network round: the stop matters more
+    # in BSP than it does in shared memory.
+    assert slow.simulated_seconds / fast.simulated_seconds > 5

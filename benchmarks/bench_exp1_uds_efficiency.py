@@ -1,0 +1,29 @@
+"""Exp-1 / paper Fig. 5 — UDS efficiency on all six undirected replicas.
+
+Regenerates the bar chart's data: simulated runtime of PFW, PBU, Local,
+PKC, PKMC at p = 32 on PT, EW, EU, IT, SK, UN.  Paper shape asserted:
+PKMC is the fastest everywhere, 5-20x ahead of PBU and about two orders
+of magnitude ahead of PFW.
+"""
+
+from conftest import as_float
+
+from repro.bench import run_exp1
+from repro.datasets import dataset_names
+
+
+def test_exp1_uds_efficiency(benchmark, save_result):
+    result = benchmark.pedantic(run_exp1, rounds=1, iterations=1)
+    save_result("exp1_fig5_uds_efficiency", result)
+
+    for abbr in dataset_names("undirected"):
+        pkmc_time = as_float(result.cell(abbr, "PKMC"))
+        # PKMC wins on every dataset (paper Fig. 5).
+        for other in ("PFW", "PBU", "Local", "PKC"):
+            assert pkmc_time < as_float(result.cell(abbr, other)), (abbr, other)
+        # At least 5x and at most ~25x vs PBU (paper: 5-20x).
+        pbu_ratio = as_float(result.cell(abbr, "PBU")) / pkmc_time
+        assert 5 <= pbu_ratio <= 30, (abbr, pbu_ratio)
+        # Around two orders of magnitude vs PFW.
+        pfw_ratio = as_float(result.cell(abbr, "PFW")) / pkmc_time
+        assert pfw_ratio > 50, (abbr, pfw_ratio)

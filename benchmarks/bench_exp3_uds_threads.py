@@ -1,0 +1,35 @@
+"""Exp-3 / paper Fig. 6 — UDS runtime vs thread count on PT, EW, EU.
+
+Paper shape asserted: PKMC's simulated runtime falls near-linearly with
+p; PKC's curve flattens (its many tiny rounds drown in spawn/barrier
+overhead); on the small PT graph PKC can edge out PKMC at low thread
+counts, as the paper observes.
+"""
+
+from conftest import as_float
+
+from repro.bench import run_exp3
+
+
+def _series(result, dataset, algo):
+    column = result.headers.index(algo)
+    return {
+        row[1]: as_float(row[column]) for row in result.rows if row[0] == dataset
+    }
+
+
+def test_exp3_thread_scaling(benchmark, save_result):
+    result = benchmark.pedantic(run_exp3, rounds=1, iterations=1)
+    save_result("exp3_fig6_uds_threads", result)
+
+    for abbr in ("PT", "EW", "EU"):
+        pkmc = _series(result, abbr, "PKMC")
+        pkc = _series(result, abbr, "PKC")
+        # PKMC keeps scaling: >= 8x speedup from 1 to 32 threads.
+        assert pkmc[1] / pkmc[32] >= 8, (abbr, pkmc)
+        # PKC flattens: < 3x speedup over the same range.
+        assert pkc[1] / pkc[32] < 3, (abbr, pkc)
+    # Paper: "PKC is slightly faster than PKMC when threads < 8 on PT".
+    pt_pkmc = _series(result, "PT", "PKMC")
+    pt_pkc = _series(result, "PT", "PKC")
+    assert pt_pkc[1] < pt_pkmc[1]

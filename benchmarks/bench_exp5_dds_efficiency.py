@@ -1,0 +1,38 @@
+"""Exp-5 / paper Fig. 8 — DDS efficiency on all six directed replicas.
+
+Paper shape asserted: PBS and PFKS exceed the time budget everywhere;
+PFW finishes only on the two smallest replicas (AR, BA) and is orders of
+magnitude slower than PWC there; PBD finishes everywhere but with a
+weaker guarantee; PWC beats PXY on every dataset.
+"""
+
+from conftest import as_float
+
+from repro.bench import run_exp5
+from repro.datasets import dataset_names
+
+
+def test_exp5_dds_efficiency(benchmark, save_result):
+    result = benchmark.pedantic(run_exp5, rounds=1, iterations=1)
+    save_result("exp5_fig8_dds_efficiency", result)
+
+    for abbr in dataset_names("directed"):
+        assert result.cell(abbr, "PBS") == "DNF", abbr
+        assert result.cell(abbr, "PFKS") == "DNF", abbr
+        assert result.cell(abbr, "PBD") != "DNF", abbr
+        pwc_time = as_float(result.cell(abbr, "PWC"))
+        pxy_time = as_float(result.cell(abbr, "PXY"))
+        assert pwc_time < pxy_time, abbr
+
+    # PFW finishes exactly on AR and BA.
+    finished = {
+        abbr
+        for abbr in dataset_names("directed")
+        if result.cell(abbr, "PFW") != "DNF"
+    }
+    assert finished == {"AR", "BA"}
+    for abbr in finished:
+        ratio = as_float(result.cell(abbr, "PFW")) / as_float(
+            result.cell(abbr, "PWC")
+        )
+        assert ratio > 100, (abbr, ratio)  # orders of magnitude slower

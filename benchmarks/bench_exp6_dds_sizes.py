@@ -1,0 +1,26 @@
+"""Exp-6 / paper Table 7 — edges processed by PXY vs the PWC stages.
+
+Paper shape asserted: PWC's first iteration (the w >= d_max prune)
+shrinks the processed graph by an order of magnitude or more relative to
+PXY's full-graph peels; on the hub-dominated AM and AR the first level
+already equals the w*-induced subgraph ("results obtained immediately").
+"""
+
+from repro.bench import run_exp6
+from repro.datasets import dataset_names
+
+
+def test_exp6_processed_sizes(benchmark, save_result):
+    result = benchmark.pedantic(run_exp6, rounds=1, iterations=1)
+    save_result("exp6_table7_sizes", result)
+
+    for abbr in dataset_names("directed"):
+        pxy = result.cell("PXY", abbr)
+        first = result.cell("PWC_1", abbr)
+        wstar = result.cell("PWC_w*", abbr)
+        dds = result.cell("PWC_D*", abbr)
+        assert pxy >= first >= wstar >= dds, abbr
+        assert pxy > 10 * first, abbr  # drastic first-iteration shrink
+
+    for abbr in ("AM", "AR"):
+        assert result.cell("PWC_1", abbr) == result.cell("PWC_w*", abbr)

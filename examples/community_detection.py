@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Community detection via densest subgraph discovery (paper Section I).
+
+Plants a hidden community (a near-clique of 40 members) inside a 10,000-
+vertex power-law social network, then recovers it with the paper's PKMC
+algorithm and measures precision/recall against the ground truth.  Also
+contrasts quality and simulated cost across the whole UDS method zoo.
+
+Run:  python examples/community_detection.py
+"""
+
+import numpy as np
+
+from repro import densest_subgraph
+from repro.graph import planted_dense_subgraph
+
+
+def precision_recall(found: np.ndarray, truth: np.ndarray) -> tuple[float, float]:
+    """Fraction of found vertices that are true members, and vice versa."""
+    found_set = set(found.tolist())
+    truth_set = set(truth.tolist())
+    overlap = len(found_set & truth_set)
+    precision = overlap / len(found_set) if found_set else 0.0
+    recall = overlap / len(truth_set) if truth_set else 0.0
+    return precision, recall
+
+
+def main() -> None:
+    graph, community = planted_dense_subgraph(
+        n=10_000,
+        background_edges=60_000,
+        core_size=40,
+        core_probability=0.95,
+        seed=7,
+    )
+    print(f"network: {graph};  hidden community of {community.size} members\n")
+
+    print(f"{'method':<10} {'|S|':>5} {'density':>8} {'precision':>9} "
+          f"{'recall':>7} {'sim (ms)':>9} {'iters':>6}")
+    for method in ("pkmc", "local", "pkc", "pbu", "pfw", "charikar", "greedypp"):
+        result = densest_subgraph(graph, method=method, num_threads=32)
+        precision, recall = precision_recall(result.vertices, community)
+        print(f"{method:<10} {result.num_vertices:>5} {result.density:>8.2f} "
+              f"{precision:>9.2f} {recall:>7.2f} "
+              f"{result.simulated_seconds * 1e3:>9.3f} {result.iterations:>6}")
+
+    best = densest_subgraph(graph, method="pkmc", num_threads=32)
+    precision, recall = precision_recall(best.vertices, community)
+    print(f"\nPKMC recovered the planted community with precision "
+          f"{precision:.0%} and recall {recall:.0%} "
+          f"(k* = {best.k_star}, {best.iterations} h-index sweeps).")
+
+
+if __name__ == "__main__":
+    main()

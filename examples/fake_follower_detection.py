@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Fake-follower detection on a directed social graph (paper Section I).
+
+Follower-buying creates an unnaturally dense directed block: a pool of
+bot accounts S that all follow the same set of customer accounts T.  The
+directed densest subgraph is exactly that block, so PWC surfaces the fraud
+ring directly.
+
+We synthesise a 30,000-account follow graph, inject a ring of 25 bots
+following 35 customers, and check that PWC's (S, T) pair pinpoints them.
+
+Run:  python examples/fake_follower_detection.py
+"""
+
+import numpy as np
+
+from repro import directed_densest_subgraph
+from repro.graph import planted_st_subgraph
+
+
+def jaccard(found: np.ndarray, truth: np.ndarray) -> float:
+    """Set overlap between a found vertex set and the ground truth."""
+    found_set, truth_set = set(found.tolist()), set(truth.tolist())
+    if not found_set and not truth_set:
+        return 1.0
+    return len(found_set & truth_set) / len(found_set | truth_set)
+
+
+def main() -> None:
+    graph, bots, customers = planted_st_subgraph(
+        n=30_000,
+        background_edges=150_000,
+        s_size=25,
+        t_size=35,
+        block_probability=0.95,
+        max_weight=60.0,  # organic accounts: no follower counts near the ring's
+        seed=11,
+    )
+    print(f"follow graph: {graph}")
+    print(f"injected ring: {bots.size} bots -> {customers.size} customers\n")
+
+    result = directed_densest_subgraph(graph, method="pwc", num_threads=32)
+    print(f"PWC found |S|={result.s_size} followers and |T|={result.t_size} "
+          f"followees with density {result.density:.2f} "
+          f"([x*, y*]=[{result.x}, {result.y}], w*={result.w_star}).")
+    print(f"bot-pool overlap      (S vs ring): {jaccard(result.s, bots):.0%}")
+    print(f"customer-pool overlap (T vs ring): {jaccard(result.t, customers):.0%}\n")
+
+    # The state-of-the-art baseline finds the same core, only slower.
+    baseline = directed_densest_subgraph(graph, method="pxy", num_threads=32)
+    speedup = baseline.simulated_seconds / result.simulated_seconds
+    print(f"PXY reaches the same cn-pair [{baseline.x}, {baseline.y}] but "
+          f"needs {baseline.iterations} peel tasks over the full graph: "
+          f"{speedup:.1f}x slower (simulated, p=32).")
+
+    # Rank the most suspicious accounts: bots are the S-side sources.
+    out_degrees = graph.out_degrees()
+    suspicious = sorted(result.s.tolist(), key=lambda v: -out_degrees[v])[:5]
+    print(f"top suspicious accounts (by follows issued): {suspicious}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Thread-scaling study on the paper's dataset replicas (Figs. 6 and 9).
+
+Sweeps the simulated thread count for the paper's algorithms and their
+closest competitors on one undirected and one directed replica, printing
+speedup curves and the runtime breakdown (work / imbalance / overhead)
+that explains *why* the curves bend — the same analysis the paper gives
+verbally for PKC's flattening and PBD's p=16 optimum.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import densest_subgraph, directed_densest_subgraph
+from repro.datasets import load_directed, load_undirected
+from repro.runtime import SimRuntime
+
+
+def sweep_uds(abbr: str) -> None:
+    graph = load_undirected(abbr)
+    print(f"== UDS thread scaling on {abbr} ({graph}) ==")
+    print(f"{'p':>3}  {'PKMC (ms)':>10} {'speedup':>8}  {'PKC (ms)':>10} {'speedup':>8}")
+    base = {}
+    for p in (1, 2, 4, 8, 16, 32, 64):
+        row = [f"{p:>3}"]
+        for method in ("pkmc", "pkc"):
+            result = densest_subgraph(graph, method=method, num_threads=p)
+            base.setdefault(method, result.simulated_seconds)
+            row.append(f"{result.simulated_seconds * 1e3:>10.3f}")
+            row.append(f"{base[method] / result.simulated_seconds:>8.1f}")
+        print("  ".join(row))
+
+    # Why PKC flattens: look at its overhead share at p=64.
+    runtime = SimRuntime(num_threads=64)
+    densest_subgraph(graph, method="pkc", runtime=runtime)
+    breakdown = runtime.breakdown
+    overhead = breakdown.spawn + breakdown.barrier
+    print(f"PKC at p=64 spends {overhead / breakdown.total:.0%} of its time in "
+          f"spawn/barrier overhead across {runtime.metrics.parallel_loops} tiny "
+          f"rounds - the flattening the paper describes.\n")
+
+
+def sweep_dds(abbr: str) -> None:
+    graph = load_directed(abbr)
+    print(f"== DDS thread scaling on {abbr} ({graph}) ==")
+    print(f"{'p':>3}  {'PWC (ms)':>10} {'speedup':>8}  {'PXY (ms)':>10} {'speedup':>8}")
+    base = {}
+    for p in (1, 2, 4, 8, 16, 32, 64):
+        row = [f"{p:>3}"]
+        for method in ("pwc", "pxy"):
+            result = directed_densest_subgraph(graph, method=method, num_threads=p)
+            base.setdefault(method, result.simulated_seconds)
+            row.append(f"{result.simulated_seconds * 1e3:>10.3f}")
+            row.append(f"{base[method] / result.simulated_seconds:>8.1f}")
+        print("  ".join(row))
+
+    runtime = SimRuntime(num_threads=64)
+    directed_densest_subgraph(graph, method="pxy", runtime=runtime)
+    breakdown = runtime.breakdown
+    print(f"PXY at p=64 loses {breakdown.imbalance / breakdown.total:.0%} of its "
+          f"time to load imbalance across its per-x peel tasks - the paper's "
+          f"explanation for its poor self-relative speedup.\n")
+
+
+if __name__ == "__main__":
+    sweep_uds("EW")
+    sweep_dds("WE")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Tracking a forming community in a streaming graph.
+
+The paper motivates DSD with fraud and community detection — workloads
+that are streaming in practice.  This example feeds timestamped edges
+into :class:`repro.core.DynamicKStarCore`: a background of random social
+activity plus a slowly-forming tight community, queried once per batch.
+The k* trace shows the community "igniting" the moment its internal
+density passes the background's, exactly the signal a monitoring system
+would alert on.
+
+Run:  python examples/streaming_communities.py
+"""
+
+import numpy as np
+
+from repro.core import DynamicKStarCore
+from repro.graph import gnm_random_undirected
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    n = 2_000
+    community = rng.choice(n, size=18, replace=False)
+    community_pairs = [
+        (int(community[i]), int(community[j]))
+        for i in range(len(community))
+        for j in range(i + 1, len(community))
+    ]
+    rng.shuffle(community_pairs)
+
+    tracker = DynamicKStarCore(n)
+    # Seed with background noise.
+    background = gnm_random_undirected(n, 6_000, seed=7)
+    tracker.insert_edges(background.edges())
+    baseline = tracker.k_star()
+    print(f"background: n={n}, m={tracker.num_edges}, baseline k* = {baseline}\n")
+    print(f"{'batch':>5} {'new edges':>10} {'m':>7} {'k*':>4} "
+          f"{'community edges':>16}  alert")
+
+    inserted_community = 0
+    for batch in range(1, 11):
+        # Each batch: 150 random background edges + 15 community edges.
+        noise = rng.integers(0, n, size=(150, 2))
+        tracker.insert_edges([(int(u), int(v)) for u, v in noise if u != v])
+        take = community_pairs[inserted_community:inserted_community + 15]
+        inserted_community += len(take)
+        tracker.insert_edges(take)
+
+        k_star = tracker.k_star()
+        alert = "<-- community detected" if k_star > baseline + 2 else ""
+        print(f"{batch:>5} {165:>10} {tracker.num_edges:>7} {k_star:>4} "
+              f"{inserted_community:>16}  {alert}")
+
+    result = tracker.densest_subgraph()
+    found = set(result.vertices.tolist())
+    overlap = len(found & set(community.tolist())) / len(found)
+    print(f"\nfinal densest core: |S| = {result.num_vertices}, "
+          f"k* = {result.k_star}, density = {result.density:.2f}")
+    print(f"community purity of the reported core: {overlap:.0%}")
+    print(f"total h-index sweeps spent across all 11 refreshes: "
+          f"{tracker.total_sweeps}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that editable installs also work on older toolchains that lack the
+``wheel`` package (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,5 @@
+"""Baseline algorithms (the paper's comparison set, Section VI-A)."""
+
+from . import directed, undirected
+
+__all__ = ["undirected", "directed"]

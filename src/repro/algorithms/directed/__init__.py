@@ -1,0 +1,27 @@
+"""Directed DSD baselines compared against PWC in the paper's Exp-5..8."""
+
+from .common import (
+    charikar_directed_peel_for_ratio,
+    ratio_grid,
+    st_density,
+)
+from .exact import brute_force_dds, exact_dds_core, exact_dds_flow
+from .pbd import pbd_dds
+from .pbs import pbs_dds
+from .pfks import pfks_dds
+from .pfw import pfw_directed_dds
+from .pxy import pxy_dds
+
+__all__ = [
+    "st_density",
+    "ratio_grid",
+    "charikar_directed_peel_for_ratio",
+    "pbs_dds",
+    "pfks_dds",
+    "pbd_dds",
+    "pfw_directed_dds",
+    "pxy_dds",
+    "brute_force_dds",
+    "exact_dds_flow",
+    "exact_dds_core",
+]

@@ -1,0 +1,120 @@
+"""PFW (directed) — Frank–Wolfe (1+eps)-approximation for DDS (Su & Vu).
+
+For each |S|/|T| ratio guess c, the DDS objective relaxes to a convex load
+-balancing program: each edge (u, v) owns one unit of mass split between a
+source-side load r_S(u) (scaled by 1/sqrt(c)) and a target-side load
+r_T(v) (scaled by sqrt(c)); Frank–Wolfe rounds route each edge's mass
+toward its currently lighter scaled endpoint.  The dense pair is read off
+prefixes of the load orderings.
+
+The round count needed for a (1+eps) guarantee grows with the maximum
+degree, and the whole procedure repeats per ratio guess, which is why the
+paper's Exp-5 records PFW finishing only on the two smallest directed
+graphs (AR, BA) and 4 orders of magnitude slower than PWC there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import EmptyGraphError
+from ...graph.directed import DirectedGraph
+from ...runtime.simruntime import SimRuntime
+from ...core.results import DDSResult
+from .common import ratio_grid, st_density
+
+__all__ = ["pfw_directed_dds"]
+
+
+def _fw_loads_for_ratio(
+    graph: DirectedGraph, ratio: float, num_rounds: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Frank–Wolfe loads (r_S, r_T) for one ratio guess."""
+    src, dst = graph.edge_src, graph.edge_dst
+    n = graph.num_vertices
+    alpha = np.full(graph.num_edges, 0.5)  # mass fraction on the source side
+    sqrt_c = float(np.sqrt(ratio))
+    for t in range(num_rounds):
+        r_s = np.zeros(n)
+        r_t = np.zeros(n)
+        np.add.at(r_s, src, alpha)
+        np.add.at(r_t, dst, 1.0 - alpha)
+        gamma = 2.0 / (t + 2.0)
+        source_lighter = r_s[src] / sqrt_c < r_t[dst] * sqrt_c
+        alpha = (1.0 - gamma) * alpha + gamma * source_lighter
+    r_s = np.zeros(n)
+    r_t = np.zeros(n)
+    np.add.at(r_s, src, alpha)
+    np.add.at(r_t, dst, 1.0 - alpha)
+    return r_s, r_t
+
+
+def _best_prefix_pair(
+    graph: DirectedGraph, r_s: np.ndarray, r_t: np.ndarray, ratio: float
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Scan geometric prefixes of the load orderings along the ratio."""
+    n = graph.num_vertices
+    s_order = np.argsort(-r_s, kind="stable")
+    t_order = np.argsort(-r_t, kind="stable")
+    best: tuple[float, np.ndarray, np.ndarray] = (
+        -1.0,
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    )
+    s_size = 1.0
+    while s_size <= n:
+        s_count = int(round(s_size))
+        t_count = min(max(int(round(s_count / ratio)), 1), n)
+        s = s_order[:s_count]
+        t = t_order[:t_count]
+        density = st_density(graph, s, t)
+        if density > best[0]:
+            best = (density, np.sort(s), np.sort(t))
+        s_size *= 1.5
+    density, s, t = best
+    return s, t, density
+
+
+def pfw_directed_dds(
+    graph: DirectedGraph,
+    epsilon: float = 1.0,
+    runtime: SimRuntime | None = None,
+    num_rounds: int | None = None,
+) -> DDSResult:
+    """Frank–Wolfe DDS over a ratio grid; see module docstring."""
+    if graph.num_edges == 0:
+        raise EmptyGraphError("DDS is undefined on a graph without edges")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    rt = runtime or SimRuntime(num_threads=1)
+    rounds = (
+        num_rounds
+        if num_rounds is not None
+        else max(8, int(np.ceil(2.0 * graph.max_degree() / epsilon)))
+    )
+    ratios = ratio_grid(graph.num_vertices, 1.0 + epsilon)
+    m = graph.num_edges
+
+    # Charge the whole projected workload first: |grid| * rounds parallel
+    # edge sweeps — on large replicas this exceeds the experiment budget
+    # (PFW DNFs everywhere but the two smallest graphs, as in the paper).
+    with rt.parallel_region():
+        for _ in ratios:
+            rt.parfor(float(3 * m * rounds))
+
+    best = (-1.0, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    for ratio in ratios:
+        r_s, r_t = _fw_loads_for_ratio(graph, ratio, rounds)
+        s, t, density = _best_prefix_pair(graph, r_s, r_t, ratio)
+        if density > best[0]:
+            best = (density, s, t)
+    density, s, t = best
+    return DDSResult(
+        algorithm="PFW",
+        s=s,
+        t=t,
+        density=density,
+        iterations=rounds * len(ratios),
+        simulated_seconds=rt.now,
+        extras={"epsilon": epsilon, "num_ratios": len(ratios)},
+    )

@@ -1,0 +1,80 @@
+"""The k*-core binary-search strawman (paper Section IV-B).
+
+Before introducing the Theorem-1 early stop, the paper discusses a simple
+alternative for finding the k*-core without decomposing the whole graph:
+guess k̂, keep only vertices of degree >= k̂, core-decompose the induced
+subgraph, and bisect on the outcome.  Its worst case is O((m + n) log n) —
+"this method may be even slower than the algorithms above" — which is why
+PKMC takes the early-stop route instead.  Implemented here as an ablation
+comparator (`benchmarks/bench_ablations.py` measures both).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.results import UDSResult
+from ...errors import EmptyGraphError
+from ...graph.undirected import UndirectedGraph
+from ...runtime.simruntime import SimRuntime
+from .common import induced_density
+from .pkc import pkc_core_decomposition
+
+__all__ = ["kstar_binary_search_uds"]
+
+
+def _max_core_at_least(graph: UndirectedGraph, guess: int) -> tuple[int, np.ndarray]:
+    """Return (k*, core) of the subgraph induced by degree >= guess vertices.
+
+    If the returned k* is >= guess it equals the whole graph's k*
+    (removing vertices of degree < guess cannot touch any k-core with
+    k >= guess).
+    """
+    candidates = np.flatnonzero(graph.degrees() >= guess)
+    if candidates.size == 0:
+        return 0, candidates
+    sub, original_ids = graph.induced_subgraph(candidates)
+    if sub.num_edges == 0:
+        return 0, np.empty(0, dtype=np.int64)
+    _, k_star, _, core = pkc_core_decomposition(sub)
+    return k_star, original_ids[core]
+
+
+def kstar_binary_search_uds(
+    graph: UndirectedGraph, runtime: SimRuntime | None = None
+) -> UDSResult:
+    """2-approximate UDS via binary search on k̂ (the Section IV-B strawman)."""
+    if graph.num_edges == 0:
+        raise EmptyGraphError("UDS is undefined on a graph without edges")
+    rt = runtime or SimRuntime(num_threads=1)
+    degrees = graph.degrees()
+    low, high = 1, int(degrees.max())
+    best_k = 0
+    best_core = np.empty(0, dtype=np.int64)
+    probes = 0
+    while low <= high:
+        guess = (low + high) // 2
+        # Each probe re-induces a subgraph and core-decomposes it.
+        candidate_count = int(np.count_nonzero(degrees >= guess))
+        rt.parfor(float(graph.num_vertices + 2 * graph.num_edges))
+        k_star, core = _max_core_at_least(graph, guess)
+        probes += 1
+        if k_star >= guess:
+            # The guess is confirmed: this k* is the global one.
+            best_k, best_core = k_star, core
+            low = k_star + 1
+        else:
+            high = guess - 1
+        del candidate_count
+    if best_k == 0:
+        # Degenerate fallback: decompose the whole graph.
+        _, best_k, _, best_core = pkc_core_decomposition(graph)
+        probes += 1
+    return UDSResult(
+        algorithm="BinarySearchK*",
+        vertices=np.sort(best_core),
+        density=induced_density(graph, best_core),
+        iterations=probes,
+        k_star=best_k,
+        simulated_seconds=rt.now,
+    )

@@ -1,0 +1,45 @@
+"""Shared helpers for the undirected baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...graph.undirected import UndirectedGraph
+from ...runtime.simruntime import SimRuntime
+
+__all__ = [
+    "induced_density",
+    "batch_neighbor_array",
+    "charge_serial_peel",
+]
+
+
+def induced_density(graph: UndirectedGraph, vertices: np.ndarray) -> float:
+    """Density |E(S)| / |S| of the subgraph induced by ``vertices``."""
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size == 0:
+        return 0.0
+    member = np.zeros(graph.num_vertices, dtype=bool)
+    member[vertices] = True
+    heads = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+    inside = member[heads] & member[graph.indices] & (heads < graph.indices)
+    return int(np.count_nonzero(inside)) / vertices.size
+
+
+def batch_neighbor_array(graph: UndirectedGraph, vertices: np.ndarray) -> np.ndarray:
+    """Concatenate the CSR adjacency slices of a batch of vertices."""
+    if vertices.size == 0:
+        return np.empty(0, dtype=np.int64)
+    slices = [
+        graph.indices[graph.indptr[v]:graph.indptr[v + 1]] for v in vertices
+    ]
+    return np.concatenate(slices) if slices else np.empty(0, dtype=np.int64)
+
+
+def charge_serial_peel(runtime: SimRuntime, graph: UndirectedGraph) -> None:
+    """Account one full serial peel: O(m + n) work on a single thread.
+
+    Used by the inherently sequential baselines — their work cannot be
+    spread over threads, which is exactly why the paper replaces them.
+    """
+    runtime.charge_serial(float(2 * graph.num_edges + graph.num_vertices))

@@ -1,0 +1,57 @@
+"""CoreExact — core-pruned exact UDS (Fang et al., PVLDB 2019; paper [6]).
+
+The exact flow-based solver need not run on the whole graph: the densest
+subgraph has density rho* >= rho(k*-core) >= k*/2, and every subgraph of
+density > d is contained in the ceil(d)-core, so the densest subgraph
+lives inside the ceil(k*/2)-core.  CoreExact therefore:
+
+1. computes the core decomposition (cheap, O(m));
+2. restricts the graph to the ceil(k*/2)-core — usually a small fraction
+   of the graph;
+3. runs Goldberg's max-flow binary search on that core only.
+
+This is the "locating the densest subgraph in some specific k-cores"
+improvement the paper credits to [6], and it makes the exact solver
+usable on the mid-sized replicas where plain Goldberg would crawl.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...core.results import UDSResult
+from ...errors import EmptyGraphError
+from ...graph.undirected import UndirectedGraph
+from .exact import exact_uds_goldberg
+from .pkc import pkc_core_decomposition
+
+__all__ = ["coreexact_uds"]
+
+
+def coreexact_uds(graph: UndirectedGraph) -> UDSResult:
+    """Exact densest subgraph via core-pruned max-flow binary search."""
+    if graph.num_edges == 0:
+        raise EmptyGraphError("UDS is undefined on a graph without edges")
+    core_numbers, k_star, _, _ = pkc_core_decomposition(graph)
+    # rho* >= rho(k*-core) >= k*/2, and any subgraph with density > d sits
+    # inside the ceil(d)-core (its minimum peel degree exceeds d), so it
+    # suffices to search the ceil(k*/2)-core.
+    threshold = math.ceil(k_star / 2)
+    keep = np.flatnonzero(core_numbers >= threshold)
+    pruned, original_ids = graph.induced_subgraph(keep)
+    inner = exact_uds_goldberg(pruned)
+    vertices = np.sort(original_ids[inner.vertices])
+    return UDSResult(
+        algorithm="CoreExact",
+        vertices=vertices,
+        density=inner.density,
+        iterations=inner.iterations,
+        k_star=k_star,
+        extras={
+            "pruned_vertices": int(keep.size),
+            "pruned_edges": pruned.num_edges,
+            "prune_threshold": threshold,
+        },
+    )

@@ -1,0 +1,129 @@
+"""High-level entry points for densest-subgraph discovery.
+
+These are the two functions a downstream user calls; every algorithm in
+the library is reachable through the ``method`` parameter, with the
+paper's parallel algorithms (PKMC, PWC) as defaults.
+
+>>> from repro import densest_subgraph
+>>> from repro.graph import UndirectedGraph
+>>> g = UndirectedGraph.from_edges(5, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)])
+>>> result = densest_subgraph(g)
+>>> sorted(result.vertices.tolist())
+[0, 1, 2]
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .algorithms.directed import (
+    brute_force_dds,
+    exact_dds_flow,
+    pbd_dds,
+    pbs_dds,
+    pfks_dds,
+    pfw_directed_dds,
+    pxy_dds,
+)
+from .algorithms.undirected import (
+    brute_force_uds,
+    charikar_peel,
+    coreexact_uds,
+    exact_uds_goldberg,
+    greedypp_uds,
+    kstar_binary_search_uds,
+    local_uds,
+    max_truss_uds,
+    pbu_uds,
+    pfw_uds,
+    pkc_uds,
+)
+from .core.pkmc import pkmc
+from .core.pwc import pwc
+from .core.results import DDSResult, UDSResult
+from .errors import AlgorithmError
+from .graph.directed import DirectedGraph
+from .graph.undirected import UndirectedGraph
+from .runtime.simruntime import SimRuntime
+
+__all__ = [
+    "densest_subgraph",
+    "directed_densest_subgraph",
+    "UDS_METHODS",
+    "DDS_METHODS",
+]
+
+UDS_METHODS: dict[str, Callable[..., UDSResult]] = {
+    "pkmc": pkmc,
+    "local": local_uds,
+    "pkc": pkc_uds,
+    "pbu": pbu_uds,
+    "pfw": pfw_uds,
+    "charikar": charikar_peel,
+    "greedypp": greedypp_uds,
+    "exact": exact_uds_goldberg,
+    "core-exact": coreexact_uds,
+    "binary-search": kstar_binary_search_uds,
+    "max-truss": max_truss_uds,
+    "brute-force": brute_force_uds,
+}
+
+DDS_METHODS: dict[str, Callable[..., DDSResult]] = {
+    "pwc": pwc,
+    "pxy": pxy_dds,
+    "pbd": pbd_dds,
+    "pfw": pfw_directed_dds,
+    "pbs": pbs_dds,
+    "pfks": pfks_dds,
+    "exact": exact_dds_flow,
+    "brute-force": brute_force_dds,
+}
+
+_NO_RUNTIME_METHODS = {"exact", "brute-force", "core-exact", "max-truss"}
+
+
+def densest_subgraph(
+    graph: UndirectedGraph,
+    method: str = "pkmc",
+    num_threads: int = 1,
+    **options,
+) -> UDSResult:
+    """Find a densest subgraph of an undirected graph.
+
+    ``method`` selects the algorithm (see :data:`UDS_METHODS`); the
+    default PKMC is the paper's parallel 2-approximation.  ``num_threads``
+    configures the simulated parallel runtime; extra keyword ``options``
+    are forwarded to the algorithm (e.g. ``epsilon`` for ``"pbu"``).
+    """
+    solver = UDS_METHODS.get(method)
+    if solver is None:
+        raise AlgorithmError(
+            f"unknown UDS method {method!r}; choose from {sorted(UDS_METHODS)}"
+        )
+    if method in _NO_RUNTIME_METHODS:
+        return solver(graph, **options)
+    runtime = options.pop("runtime", None) or SimRuntime(num_threads=num_threads)
+    return solver(graph, runtime=runtime, **options)
+
+
+def directed_densest_subgraph(
+    graph: DirectedGraph,
+    method: str = "pwc",
+    num_threads: int = 1,
+    **options,
+) -> DDSResult:
+    """Find a densest (S, T)-subgraph of a directed graph.
+
+    ``method`` selects the algorithm (see :data:`DDS_METHODS`); the
+    default PWC is the paper's parallel 2-approximation based on the
+    w*-induced subgraph.
+    """
+    solver = DDS_METHODS.get(method)
+    if solver is None:
+        raise AlgorithmError(
+            f"unknown DDS method {method!r}; choose from {sorted(DDS_METHODS)}"
+        )
+    if method in _NO_RUNTIME_METHODS:
+        return solver(graph, **options)
+    runtime = options.pop("runtime", None) or SimRuntime(num_threads=num_threads)
+    return solver(graph, runtime=runtime, **options)

@@ -1,0 +1,116 @@
+"""``repro-bench`` command line: regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-bench --list
+    repro-bench exp1 exp2
+    repro-bench all --output results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .experiments import ALL_EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the evaluation artifacts of 'Scalable Algorithms "
+            "for Densest Subgraph Discovery' (ICDE 2023) on the synthetic "
+            "replicas."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (exp1..exp8) or 'all'; default: all",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--charts",
+        action="store_true",
+        help="also render ASCII approximations of the paper's figures",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory to also write one <exp>.txt per experiment",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --output, also write machine-readable <exp>.json files",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="check each artifact against the paper's encoded claims",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for name, runner in ALL_EXPERIMENTS.items():
+            doc = (runner.__doc__ or "").strip().splitlines()[0]
+            print(f"{name}: {doc}")
+        return 0
+
+    requested = args.experiments or ["all"]
+    if "all" in requested:
+        requested = list(ALL_EXPERIMENTS)
+    unknown = [name for name in requested if name not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    if args.output is not None:
+        args.output.mkdir(parents=True, exist_ok=True)
+    for name in requested:
+        started = time.perf_counter()
+        result = ALL_EXPERIMENTS[name]()
+        elapsed = time.perf_counter() - started
+        text = result.to_text()
+        if args.charts:
+            from .figures import chart_for
+
+            chart = chart_for(result)
+            if chart is not None:
+                text = f"{text}\n\n{chart}"
+        print(text)
+        print(f"[{name} regenerated in {elapsed:.1f}s wall time]")
+        failures = 0
+        if args.verify:
+            from .expectations import check_result
+
+            for expectation, passed in check_result(name, result):
+                marker = "PASS" if passed else "FAIL"
+                print(f"  [{marker}] {expectation.claim}")
+                failures += 0 if passed else 1
+        print()
+        if args.output is not None:
+            (args.output / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+            if args.json:
+                from .serialization import save_json
+
+                save_json(result, args.output / f"{name}.json")
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,162 @@
+"""The paper's evaluation claims, encoded as machine-checkable expectations.
+
+Each expectation is a small predicate over one regenerated artifact; the
+full list is the reproduction's contract with the paper.  ``repro-bench
+--verify`` (and ``tests/bench/test_expectations.py``) runs every
+expectation against freshly produced results and reports PASS/FAIL lines,
+so "the shapes hold" is a checked statement rather than prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .reporting import ExperimentResult
+
+__all__ = ["Expectation", "EXPECTATIONS", "check_result", "expectations_for"]
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One checkable claim about one experiment artifact."""
+
+    experiment: str
+    claim: str
+    check: Callable[[ExperimentResult], bool]
+
+
+def _value(result: ExperimentResult, row_key, column: str) -> float:
+    return float(result.cell(row_key, column))
+
+
+def _datasets(result: ExperimentResult) -> list:
+    return list(dict.fromkeys(row[0] for row in result.rows))
+
+
+# ----------------------------------------------------------------------
+# Exp-1 (Fig. 5)
+# ----------------------------------------------------------------------
+def _exp1_pkmc_fastest(result: ExperimentResult) -> bool:
+    others = [h for h in result.headers[1:] if h not in ("PKMC", "PBU/PKMC")]
+    return all(
+        _value(result, d, "PKMC") < _value(result, d, other)
+        for d in _datasets(result)
+        for other in others
+    )
+
+
+def _exp1_pbu_gap(result: ExperimentResult) -> bool:
+    return all(
+        5 <= _value(result, d, "PBU") / _value(result, d, "PKMC") <= 30
+        for d in _datasets(result)
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-2 (Table 6)
+# ----------------------------------------------------------------------
+def _exp2_pkmc_3_to_5(result: ExperimentResult) -> bool:
+    return all(3 <= result.cell("PKMC", d) <= 5 for d in result.headers[1:])
+
+
+def _exp2_ordering(result: ExperimentResult) -> bool:
+    return all(
+        result.cell("PKMC", d) < result.cell("Local", d) < result.cell("PKC", d)
+        for d in result.headers[1:]
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-5 (Fig. 8)
+# ----------------------------------------------------------------------
+def _exp5_quadratic_dnf(result: ExperimentResult) -> bool:
+    return all(
+        result.cell(d, "PBS") == "DNF" and result.cell(d, "PFKS") == "DNF"
+        for d in _datasets(result)
+    )
+
+
+def _exp5_pfw_small_only(result: ExperimentResult) -> bool:
+    finished = {d for d in _datasets(result) if result.cell(d, "PFW") != "DNF"}
+    return finished == {"AR", "BA"}
+
+
+def _exp5_pwc_beats_pxy(result: ExperimentResult) -> bool:
+    return all(
+        _value(result, d, "PWC") < _value(result, d, "PXY")
+        for d in _datasets(result)
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-6 (Table 7)
+# ----------------------------------------------------------------------
+def _exp6_monotone(result: ExperimentResult) -> bool:
+    return all(
+        result.cell("PXY", d)
+        >= result.cell("PWC_1", d)
+        >= result.cell("PWC_w*", d)
+        >= result.cell("PWC_D*", d)
+        for d in result.headers[1:]
+    )
+
+
+def _exp6_am_ar_immediate(result: ExperimentResult) -> bool:
+    return all(
+        result.cell("PWC_1", d) == result.cell("PWC_w*", d)
+        for d in ("AM", "AR")
+        if d in result.headers
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-7 (Fig. 9)
+# ----------------------------------------------------------------------
+def _exp7_tw_oom(result: ExperimentResult) -> bool:
+    tw_rows = [row for row in result.rows if row[0] == "TW"]
+    if not tw_rows:
+        return True
+    pxy = result.headers.index("PXY")
+    return all(
+        (row[pxy] == "OOM") == (row[1] > 4) for row in tw_rows
+    )
+
+
+def _exp7_pwc_never_fails(result: ExperimentResult) -> bool:
+    pwc = result.headers.index("PWC")
+    return all(row[pwc] not in ("OOM", "DNF") for row in result.rows)
+
+
+EXPECTATIONS: tuple[Expectation, ...] = (
+    Expectation("exp1", "PKMC is the fastest UDS algorithm everywhere", _exp1_pkmc_fastest),
+    Expectation("exp1", "PKMC beats PBU by 5-20x (we allow up to 30x)", _exp1_pbu_gap),
+    Expectation("exp2", "PKMC converges in 3-5 iterations", _exp2_pkmc_3_to_5),
+    Expectation("exp2", "iterations: PKMC < Local < PKC", _exp2_ordering),
+    Expectation("exp5", "PBS and PFKS exceed the time budget everywhere", _exp5_quadratic_dnf),
+    Expectation("exp5", "PFW finishes exactly on AR and BA", _exp5_pfw_small_only),
+    Expectation("exp5", "PWC beats PXY on every dataset", _exp5_pwc_beats_pxy),
+    Expectation("exp6", "processed sizes are monotone across PWC stages", _exp6_monotone),
+    Expectation("exp6", "AM and AR resolve at the first w-level", _exp6_am_ar_immediate),
+    Expectation("exp7", "PXY OOMs on TW exactly for p > 4", _exp7_tw_oom),
+    Expectation("exp7", "PWC never hits a budget", _exp7_pwc_never_fails),
+)
+
+
+def expectations_for(experiment: str) -> list[Expectation]:
+    """All encoded claims for one experiment id (e.g. ``"exp5"``)."""
+    return [e for e in EXPECTATIONS if e.experiment == experiment]
+
+
+def check_result(
+    experiment: str, result: ExperimentResult
+) -> list[tuple[Expectation, bool]]:
+    """Evaluate every claim registered for ``experiment`` against a result."""
+    outcomes = []
+    for expectation in expectations_for(experiment):
+        try:
+            passed = bool(expectation.check(result))
+        except (KeyError, ValueError, IndexError):
+            passed = False
+        outcomes.append((expectation, passed))
+    return outcomes

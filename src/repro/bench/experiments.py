@@ -1,0 +1,416 @@
+"""The paper's eight experiments (Section VI), one function per artifact.
+
+Every ``run_expN`` returns an :class:`~repro.bench.reporting.
+ExperimentResult` whose rows mirror the corresponding figure or table:
+
+========  ==============  ==================================================
+function  paper artifact  content
+========  ==============  ==================================================
+run_exp1  Fig. 5          UDS efficiency, 5 algorithms x 6 graphs, p=32
+run_exp2  Table 6         iteration counts of PKC / Local / PKMC
+run_exp3  Fig. 6          UDS runtime vs threads p
+run_exp4  Fig. 7          UDS runtime vs edge fraction
+run_exp5  Fig. 8          DDS efficiency, 6 algorithms x 6 graphs
+run_exp6  Table 7         graph sizes processed by PXY vs PWC
+run_exp7  Fig. 9          DDS runtime vs threads p (with OOM points)
+run_exp8  Fig. 10         DDS runtime vs edge fraction, p=4
+========  ==============  ==================================================
+
+All simulated times come from :class:`~repro.runtime.SimRuntime`; DNF and
+OOM cells reproduce the paper's budget conventions (see bench.config).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..algorithms.directed import pbd_dds, pbs_dds, pfks_dds, pfw_directed_dds, pxy_dds
+from ..algorithms.undirected import local_uds, pbu_uds, pfw_uds, pkc_uds
+from ..core.pkmc import pkmc
+from ..core.pwc import pwc
+from ..datasets.registry import dataset_names, get_spec, load_directed, load_undirected
+from ..graph.sampling import DEFAULT_FRACTIONS, edge_fraction_series
+from .config import (
+    DDS_TIME_LIMIT,
+    DEFAULT_THREADS,
+    THREAD_SWEEP,
+    UDS_TIME_LIMIT,
+    scaled_memory_limit,
+)
+from .harness import RunRecord, format_status, run_cell
+from .reporting import ExperimentResult
+
+__all__ = [
+    "UDS_ALGORITHMS",
+    "DDS_ALGORITHMS",
+    "run_exp1",
+    "run_exp2",
+    "run_exp3",
+    "run_exp4",
+    "run_exp5",
+    "run_exp6",
+    "run_exp7",
+    "run_exp8",
+    "ALL_EXPERIMENTS",
+]
+
+# Algorithms in the paper's legend order, with the paper's parameters.
+UDS_ALGORITHMS: dict[str, tuple[Callable, dict]] = {
+    "PFW": (pfw_uds, {"epsilon": 1.0}),
+    "PBU": (pbu_uds, {"epsilon": 0.5}),
+    "Local": (local_uds, {}),
+    "PKC": (pkc_uds, {}),
+    "PKMC": (pkmc, {}),
+}
+
+DDS_ALGORITHMS: dict[str, tuple[Callable, dict]] = {
+    "PBS": (pbs_dds, {}),
+    "PFKS": (pfks_dds, {}),
+    "PFW": (pfw_directed_dds, {"epsilon": 1.0}),
+    "PBD": (pbd_dds, {"delta": 2.0, "epsilon": 1.0}),
+    "PXY": (pxy_dds, {}),
+    "PWC": (pwc, {}),
+}
+
+
+def _uds_cell(abbr: str, name: str, graph, threads: int) -> RunRecord:
+    solver, options = UDS_ALGORITHMS[name]
+    return run_cell(
+        abbr, name, solver, graph, threads,
+        time_limit=UDS_TIME_LIMIT, **options,
+    )
+
+
+def _dds_cell(
+    abbr: str,
+    name: str,
+    graph,
+    threads: int,
+    time_limit: float | None = DDS_TIME_LIMIT,
+) -> RunRecord:
+    solver, options = DDS_ALGORITHMS[name]
+    return run_cell(
+        abbr, name, solver, graph, threads,
+        time_limit=time_limit,
+        memory_limit=scaled_memory_limit(get_spec(abbr)),
+        **options,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-1 (Fig. 5): UDS efficiency
+# ----------------------------------------------------------------------
+def run_exp1(
+    datasets: Sequence[str] | None = None,
+    threads: int = DEFAULT_THREADS,
+    algorithms: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """UDS efficiency comparison with p=32 threads (paper Fig. 5)."""
+    datasets = list(datasets or dataset_names("undirected"))
+    algorithms = list(algorithms or UDS_ALGORITHMS)
+    records: list[RunRecord] = []
+    rows = []
+    for abbr in datasets:
+        graph = load_undirected(abbr)
+        row: list = [abbr]
+        by_name: dict[str, RunRecord] = {}
+        for name in algorithms:
+            record = _uds_cell(abbr, name, graph, threads)
+            records.append(record)
+            by_name[name] = record
+            row.append(format_status(record))
+        if "PKMC" in by_name and "PBU" in by_name and by_name["PBU"].ok:
+            row.append(
+                f"{by_name['PBU'].simulated_seconds / by_name['PKMC'].simulated_seconds:.1f}x"
+            )
+        else:
+            row.append("-")
+        rows.append(row)
+    return ExperimentResult(
+        experiment="Exp-1",
+        paper_artifact="Fig. 5",
+        description=(
+            f"Simulated runtime (s) of the UDS algorithms with p={threads} "
+            "threads.  Paper shape: PKMC 5-20x faster than PBU, up to 13x "
+            "vs Local, ~2 orders vs PFW."
+        ),
+        headers=["dataset", *algorithms, "PBU/PKMC"],
+        rows=rows,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-2 (Table 6): iteration counts
+# ----------------------------------------------------------------------
+def run_exp2(
+    datasets: Sequence[str] | None = None, threads: int = DEFAULT_THREADS
+) -> ExperimentResult:
+    """Iteration counts of the core-based UDS algorithms (paper Table 6)."""
+    datasets = list(datasets or dataset_names("undirected"))
+    names = ["PKC", "Local", "PKMC"]
+    counts: dict[str, list[int]] = {name: [] for name in names}
+    records: list[RunRecord] = []
+    for abbr in datasets:
+        graph = load_undirected(abbr)
+        for name in names:
+            record = _uds_cell(abbr, name, graph, threads)
+            records.append(record)
+            counts[name].append(record.iterations)
+    rows = [[name, *counts[name]] for name in names]
+    return ExperimentResult(
+        experiment="Exp-2",
+        paper_artifact="Table 6",
+        description=(
+            "Number of iterations in the core-based algorithms.  Paper "
+            "shape: PKMC needs 3-5; Local needs 60-99% more; PKC needs "
+            "k*+cascades, an order of magnitude beyond Local."
+        ),
+        headers=["algorithm", *datasets],
+        rows=rows,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-3 (Fig. 6): UDS thread scaling
+# ----------------------------------------------------------------------
+def run_exp3(
+    datasets: Sequence[str] = ("PT", "EW", "EU"),
+    threads: Sequence[int] = THREAD_SWEEP,
+    algorithms: Sequence[str] = ("PBU", "Local", "PKC", "PKMC"),
+) -> ExperimentResult:
+    """UDS runtime vs thread count (paper Fig. 6)."""
+    records: list[RunRecord] = []
+    rows = []
+    for abbr in datasets:
+        graph = load_undirected(abbr)
+        for p in threads:
+            row: list = [abbr, p]
+            for name in algorithms:
+                record = _uds_cell(abbr, name, graph, p)
+                records.append(record)
+                row.append(format_status(record))
+            rows.append(row)
+    return ExperimentResult(
+        experiment="Exp-3",
+        paper_artifact="Fig. 6",
+        description=(
+            "Simulated runtime (s) vs thread count.  Paper shape: PKMC "
+            "scales near-linearly; PKC flattens at high p (tiny rounds "
+            "drown in spawn/barrier overhead); PKC can edge out PKMC at "
+            "small p on PT."
+        ),
+        headers=["dataset", "p", *algorithms],
+        rows=rows,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-4 (Fig. 7): UDS scalability in graph size
+# ----------------------------------------------------------------------
+def run_exp4(
+    datasets: Sequence[str] = ("SK", "UN"),
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    threads: int = DEFAULT_THREADS,
+    algorithms: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """UDS runtime vs sampled edge fraction (paper Fig. 7)."""
+    algorithms = list(algorithms or UDS_ALGORITHMS)
+    records: list[RunRecord] = []
+    rows = []
+    for abbr in datasets:
+        graph = load_undirected(abbr)
+        for fraction, subgraph in edge_fraction_series(graph, fractions, seed=7):
+            row: list = [abbr, f"{int(fraction * 100)}%"]
+            for name in algorithms:
+                record = _uds_cell(abbr, name, subgraph, threads)
+                records.append(record)
+                row.append(format_status(record))
+            rows.append(row)
+    return ExperimentResult(
+        experiment="Exp-4",
+        paper_artifact="Fig. 7",
+        description=(
+            "Simulated runtime (s) on nested edge samples, p=32.  Paper "
+            "shape: every algorithm grows steadily with |E| and PKMC stays "
+            "fastest throughout."
+        ),
+        headers=["dataset", "edges", *algorithms],
+        rows=rows,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-5 (Fig. 8): DDS efficiency
+# ----------------------------------------------------------------------
+def run_exp5(
+    datasets: Sequence[str] | None = None,
+    threads: int = DEFAULT_THREADS,
+    tw_threads: int = 4,
+    algorithms: Sequence[str] | None = None,
+) -> ExperimentResult:
+    """DDS efficiency comparison (paper Fig. 8).
+
+    TW runs with ``tw_threads`` because PXY/PBD exceed the memory budget
+    there for p > 4, exactly as in the paper.
+    """
+    datasets = list(datasets or dataset_names("directed"))
+    algorithms = list(algorithms or DDS_ALGORITHMS)
+    records: list[RunRecord] = []
+    rows = []
+    for abbr in datasets:
+        graph = load_directed(abbr)
+        p = tw_threads if abbr == "TW" else threads
+        row: list = [abbr, p]
+        by_name: dict[str, RunRecord] = {}
+        for name in algorithms:
+            record = _dds_cell(abbr, name, graph, p)
+            records.append(record)
+            by_name[name] = record
+            row.append(format_status(record))
+        if "PWC" in by_name and "PXY" in by_name and by_name["PXY"].ok:
+            row.append(
+                f"{by_name['PXY'].simulated_seconds / by_name['PWC'].simulated_seconds:.1f}x"
+            )
+        else:
+            row.append("-")
+        rows.append(row)
+    return ExperimentResult(
+        experiment="Exp-5",
+        paper_artifact="Fig. 8",
+        description=(
+            "Simulated runtime (s) of the DDS algorithms (DNF = exceeded "
+            "the scaled 10^5-second analogue).  Paper shape: PBS and PFKS "
+            "DNF everywhere; PFW finishes only on the smallest graphs and "
+            "is orders slower; PWC beats PXY by up to 30x."
+        ),
+        headers=["dataset", "p", *algorithms, "PXY/PWC"],
+        rows=rows,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-6 (Table 7): sizes of the graphs processed
+# ----------------------------------------------------------------------
+def run_exp6(
+    datasets: Sequence[str] | None = None, threads: int = DEFAULT_THREADS
+) -> ExperimentResult:
+    """Edges processed by PXY vs the stages of PWC (paper Table 7)."""
+    datasets = list(datasets or dataset_names("directed"))
+    pxy_row: list = ["PXY"]
+    first_row: list = ["PWC_1"]
+    wstar_row: list = ["PWC_w*"]
+    dds_row: list = ["PWC_D*"]
+    records: list[RunRecord] = []
+    for abbr in datasets:
+        graph = load_directed(abbr)
+        p = 4 if abbr == "TW" else threads
+        record = _dds_cell(abbr, "PWC", graph, p)
+        records.append(record)
+        pxy_row.append(graph.num_edges)  # PXY peels the entire graph
+        first_row.append(record.extras.get("size_first", "-"))
+        wstar_row.append(record.extras.get("size_wstar", "-"))
+        dds_row.append(record.extras.get("size_dds", "-"))
+    return ExperimentResult(
+        experiment="Exp-6",
+        paper_artifact="Table 7",
+        description=(
+            "Number of edges processed.  Paper shape: PWC's first "
+            "iteration already shrinks the graph drastically (w >= d_max "
+            "pruning); on the hub-dominated AM and AR the first level *is* "
+            "the answer."
+        ),
+        headers=["stage", *datasets],
+        rows=[pxy_row, first_row, wstar_row, dds_row],
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-7 (Fig. 9): DDS thread scaling
+# ----------------------------------------------------------------------
+def run_exp7(
+    datasets: Sequence[str] = ("AR", "WE", "TW"),
+    threads: Sequence[int] = THREAD_SWEEP,
+    algorithms: Sequence[str] = ("PBD", "PXY", "PWC"),
+) -> ExperimentResult:
+    """DDS runtime vs thread count (paper Fig. 9).
+
+    PXY and PBD hold one graph copy per thread, so on TW they exceed the
+    memory budget for p > 4 and show as OOM, as in the paper.
+    """
+    records: list[RunRecord] = []
+    rows = []
+    for abbr in datasets:
+        graph = load_directed(abbr)
+        for p in threads:
+            row: list = [abbr, p]
+            for name in algorithms:
+                record = _dds_cell(abbr, name, graph, p, time_limit=None)
+                records.append(record)
+                row.append(format_status(record))
+            rows.append(row)
+    return ExperimentResult(
+        experiment="Exp-7",
+        paper_artifact="Fig. 9",
+        description=(
+            "Simulated runtime (s) vs thread count.  Paper shape: PWC "
+            "scales near-linearly and is 7-10x faster than PXY already at "
+            "p=1; PBD bottoms out around p=16 and degrades beyond; PXY "
+            "and PBD go OOM on TW for p > 4."
+        ),
+        headers=["dataset", "p", *algorithms],
+        rows=rows,
+        records=records,
+    )
+
+
+# ----------------------------------------------------------------------
+# Exp-8 (Fig. 10): DDS scalability in graph size
+# ----------------------------------------------------------------------
+def run_exp8(
+    datasets: Sequence[str] = ("WE", "TW"),
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    threads: int = 4,
+    algorithms: Sequence[str] = ("PBD", "PXY", "PWC"),
+) -> ExperimentResult:
+    """DDS runtime vs sampled edge fraction at p=4 (paper Fig. 10)."""
+    records: list[RunRecord] = []
+    rows = []
+    for abbr in datasets:
+        graph = load_directed(abbr)
+        for fraction, subgraph in edge_fraction_series(graph, fractions, seed=8):
+            row: list = [abbr, f"{int(fraction * 100)}%"]
+            for name in algorithms:
+                record = _dds_cell(abbr, name, subgraph, threads, time_limit=None)
+                records.append(record)
+                row.append(format_status(record))
+            rows.append(row)
+    return ExperimentResult(
+        experiment="Exp-8",
+        paper_artifact="Fig. 10",
+        description=(
+            "Simulated runtime (s) on nested edge samples, p=4.  Paper "
+            "shape: all three algorithms grow with |E|; PWC stays the "
+            "fastest at every size."
+        ),
+        headers=["dataset", "edges", *algorithms],
+        rows=rows,
+        records=records,
+    )
+
+
+ALL_EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "exp1": run_exp1,
+    "exp2": run_exp2,
+    "exp3": run_exp3,
+    "exp4": run_exp4,
+    "exp5": run_exp5,
+    "exp6": run_exp6,
+    "exp7": run_exp7,
+    "exp8": run_exp8,
+}

@@ -1,0 +1,154 @@
+"""ASCII rendering of the paper's figures (log-scale bars and curves).
+
+The paper's evaluation figures are grouped bar charts (Figs. 5, 8) and
+log-log line plots (Figs. 6, 7, 9, 10).  These renderers turn an
+:class:`~repro.bench.reporting.ExperimentResult` into monospaced
+approximations of those figures, so ``repro-bench --charts`` output reads
+like the paper's artifacts without any plotting dependency.
+
+Values spanning orders of magnitude are placed on a log10 axis; DNF/OOM
+cells render as full bars capped with their marker, matching the paper's
+"bars touching the upper boundary" convention.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["log_bar_chart", "scaling_chart"]
+
+_BAR_WIDTH = 40
+
+
+def _parse(cell) -> float | None:
+    """Return the numeric value of a table cell, or None for DNF/OOM."""
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def log_bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: dict[str, Sequence],
+    unit: str = "s",
+) -> str:
+    """Render grouped horizontal bars on a log scale.
+
+    ``groups`` are the x-axis categories (datasets); ``series`` maps each
+    algorithm name to its per-group values (numbers, or "DNF"/"OOM").
+    """
+    numeric = [
+        v
+        for values in series.values()
+        for v in (_parse(cell) for cell in values)
+        if v is not None and v > 0
+    ]
+    if not numeric:
+        return f"{title}\n(no finished runs)"
+    lo = math.log10(min(numeric))
+    hi = math.log10(max(numeric))
+    span = max(hi - lo, 1e-9)
+    label_width = max(len(name) for name in series)
+
+    lines = [title, ""]
+    for group_index, group in enumerate(groups):
+        lines.append(f"[{group}]")
+        for name, values in series.items():
+            value = _parse(values[group_index])
+            if value is None:
+                bar = "#" * _BAR_WIDTH
+                suffix = str(values[group_index])
+            else:
+                filled = 1 + int(
+                    (math.log10(max(value, 10 ** lo)) - lo) / span * (_BAR_WIDTH - 1)
+                )
+                bar = "#" * filled
+                suffix = f"{value:.3g} {unit}"
+            lines.append(f"  {name.ljust(label_width)} |{bar.ljust(_BAR_WIDTH)}| {suffix}")
+        lines.append("")
+    lines.append(
+        f"(log scale: {10 ** lo:.2g} .. {10 ** hi:.2g} {unit}; full bar = DNF/OOM)"
+    )
+    return "\n".join(lines)
+
+
+def scaling_chart(
+    title: str,
+    x_values: Sequence,
+    series: dict[str, Sequence],
+    x_label: str = "p",
+    unit: str = "s",
+) -> str:
+    """Render log-scale curves as rows of per-x markers.
+
+    Each series renders one row per x value with a dot positioned on the
+    shared log axis — a compact substitute for the paper's log-log plots.
+    """
+    numeric = [
+        v
+        for values in series.values()
+        for v in (_parse(cell) for cell in values)
+        if v is not None and v > 0
+    ]
+    if not numeric:
+        return f"{title}\n(no finished runs)"
+    lo = math.log10(min(numeric))
+    hi = math.log10(max(numeric))
+    span = max(hi - lo, 1e-9)
+
+    lines = [title, ""]
+    for name, values in series.items():
+        lines.append(f"{name}:")
+        for x, cell in zip(x_values, values):
+            value = _parse(cell)
+            prefix = f"  {x_label}={str(x).ljust(4)}"
+            if value is None:
+                lines.append(f"{prefix} {str(cell).rjust(_BAR_WIDTH + 2)}")
+                continue
+            pos = int((math.log10(max(value, 10 ** lo)) - lo) / span * (_BAR_WIDTH - 1))
+            axis = [" "] * _BAR_WIDTH
+            axis[pos] = "*"
+            lines.append(f"{prefix} |{''.join(axis)}| {value:.3g} {unit}")
+        lines.append("")
+    lines.append(f"(log axis: {10 ** lo:.2g} .. {10 ** hi:.2g} {unit})")
+    return "\n".join(lines)
+
+
+def chart_for(result) -> str | None:
+    """Build the appropriate ASCII figure for an ExperimentResult.
+
+    Returns None for the table artifacts (Exp-2/Table 6, Exp-6/Table 7),
+    which are already tables.
+    """
+    experiment = result.experiment
+    if experiment in ("Exp-2", "Exp-6"):
+        return None
+    title = f"{result.experiment} ({result.paper_artifact})"
+    if experiment in ("Exp-1", "Exp-5"):
+        # Grouped bars: one group per dataset, one bar per algorithm.
+        skip = 2 if experiment == "Exp-5" else 1  # dataset [, p] prefix
+        algorithms = [h for h in result.headers[skip:] if "/" not in h]
+        groups = [row[0] for row in result.rows]
+        series = {
+            algo: [row[result.headers.index(algo)] for row in result.rows]
+            for algo in algorithms
+        }
+        return log_bar_chart(title, groups, series)
+    # Scaling figures: rows are (dataset, x, values...).
+    algorithms = result.headers[2:]
+    charts = []
+    for dataset in dict.fromkeys(row[0] for row in result.rows):
+        rows = [row for row in result.rows if row[0] == dataset]
+        x_values = [row[1] for row in rows]
+        series = {
+            algo: [row[result.headers.index(algo)] for row in rows]
+            for algo in algorithms
+        }
+        x_label = "p" if experiment in ("Exp-3", "Exp-7") else "|E|"
+        charts.append(
+            scaling_chart(f"{title} — {dataset}", x_values, series, x_label=x_label)
+        )
+    return "\n\n".join(charts)

@@ -1,0 +1,90 @@
+"""Experiment runner: executes one (algorithm, graph, p) cell at a time.
+
+Every cell yields a :class:`RunRecord` with the simulated time (the
+paper's y-axis), the wall-clock time of the host execution, the status
+(``ok`` / ``DNF`` / ``OOM``, matching the paper's bar-at-the-boundary and
+missing-point conventions), and the solution quality.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimMemoryLimitExceeded, SimTimeLimitExceeded
+from ..runtime.simruntime import SimRuntime
+
+__all__ = ["RunRecord", "run_cell", "format_status"]
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one experiment cell."""
+
+    dataset: str
+    algorithm: str
+    threads: int
+    status: str  # "ok", "DNF" (time budget), or "OOM" (memory budget)
+    simulated_seconds: float
+    wall_seconds: float
+    iterations: int = 0
+    density: float = 0.0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the run finished within both budgets."""
+        return self.status == "ok"
+
+
+def run_cell(
+    dataset: str,
+    algorithm: str,
+    solver: Callable,
+    graph,
+    threads: int,
+    time_limit: float | None = None,
+    memory_limit: float | None = None,
+    **options,
+) -> RunRecord:
+    """Run ``solver(graph, runtime=...)`` under the experiment budgets."""
+    runtime = SimRuntime(
+        num_threads=threads,
+        time_limit=time_limit,
+        memory_limit_bytes=memory_limit,
+    )
+    started = time.perf_counter()
+    try:
+        result = solver(graph, runtime=runtime, **options)
+    except SimTimeLimitExceeded:
+        return RunRecord(
+            dataset, algorithm, threads, "DNF",
+            simulated_seconds=float(time_limit or runtime.now),
+            wall_seconds=time.perf_counter() - started,
+        )
+    except SimMemoryLimitExceeded:
+        return RunRecord(
+            dataset, algorithm, threads, "OOM",
+            simulated_seconds=0.0,
+            wall_seconds=time.perf_counter() - started,
+        )
+    wall = time.perf_counter() - started
+    return RunRecord(
+        dataset,
+        algorithm,
+        threads,
+        "ok",
+        simulated_seconds=result.simulated_seconds,
+        wall_seconds=wall,
+        iterations=result.iterations,
+        density=result.density,
+        extras=dict(result.extras),
+    )
+
+
+def format_status(record: RunRecord, precision: int = 4) -> str:
+    """Render a record's headline value for a table cell."""
+    if record.status != "ok":
+        return record.status
+    return f"{record.simulated_seconds:.{precision}g}"

@@ -1,0 +1,60 @@
+"""Plain-text rendering of experiment results (the paper's tables/figures).
+
+Figures become series tables (one row per x-axis point), tables stay
+tables.  Everything renders to monospaced text so ``repro-bench`` output
+and the pytest-benchmark logs read like the paper's artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentResult", "render_table"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as an aligned monospaced table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for row_number, row in enumerate(cells):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if row_number == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced paper artifact (a table or a figure's data)."""
+
+    experiment: str
+    paper_artifact: str
+    description: str
+    headers: list[str]
+    rows: list[list[Any]]
+    notes: list[str] = field(default_factory=list)
+    records: list[Any] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        """Render the full artifact: title, table, and notes."""
+        parts = [
+            f"== {self.experiment} ({self.paper_artifact}) ==",
+            self.description,
+            "",
+            render_table(self.headers, self.rows),
+        ]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def cell(self, row_key: Any, column: str) -> Any:
+        """Look up a value by first-column key and column header."""
+        column_index = self.headers.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[column_index]
+        raise KeyError(f"no row with key {row_key!r}")

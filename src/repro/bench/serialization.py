@@ -1,0 +1,106 @@
+"""JSON persistence for experiment artifacts.
+
+``repro-bench --output DIR`` writes human-readable text tables; with
+``--json`` it also writes machine-readable JSON so downstream tooling
+(plotters, regression dashboards) can consume the reproduction results
+without re-running the experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .harness import RunRecord
+from .reporting import ExperimentResult
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_json",
+    "load_json",
+    "record_to_dict",
+]
+
+
+def record_to_dict(record: RunRecord) -> dict[str, Any]:
+    """Flatten one RunRecord (extras are kept only if JSON-serialisable)."""
+    extras = {}
+    for key, value in record.extras.items():
+        try:
+            json.dumps(value)
+        except TypeError:
+            continue
+        extras[key] = value
+    return {
+        "dataset": record.dataset,
+        "algorithm": record.algorithm,
+        "threads": record.threads,
+        "status": record.status,
+        "simulated_seconds": record.simulated_seconds,
+        "wall_seconds": record.wall_seconds,
+        "iterations": record.iterations,
+        "density": record.density,
+        "extras": extras,
+    }
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Serialise an ExperimentResult (including per-cell run records)."""
+    return {
+        "experiment": result.experiment,
+        "paper_artifact": result.paper_artifact,
+        "description": result.description,
+        "headers": list(result.headers),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(result.notes),
+        "records": [
+            record_to_dict(record)
+            for record in result.records
+            if isinstance(record, RunRecord)
+        ],
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> ExperimentResult:
+    """Rebuild an ExperimentResult from :func:`result_to_dict` output.
+
+    Records come back as :class:`RunRecord` instances (their extras as
+    plain dicts).
+    """
+    records = [
+        RunRecord(
+            dataset=entry["dataset"],
+            algorithm=entry["algorithm"],
+            threads=entry["threads"],
+            status=entry["status"],
+            simulated_seconds=entry["simulated_seconds"],
+            wall_seconds=entry["wall_seconds"],
+            iterations=entry.get("iterations", 0),
+            density=entry.get("density", 0.0),
+            extras=entry.get("extras", {}),
+        )
+        for entry in data.get("records", [])
+    ]
+    return ExperimentResult(
+        experiment=data["experiment"],
+        paper_artifact=data["paper_artifact"],
+        description=data["description"],
+        headers=list(data["headers"]),
+        rows=[list(row) for row in data["rows"]],
+        notes=list(data.get("notes", [])),
+        records=records,
+    )
+
+
+def save_json(result: ExperimentResult, path: str | Path) -> None:
+    """Write a result to ``path`` as indented JSON."""
+    Path(path).write_text(
+        json.dumps(result_to_dict(result), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_json(path: str | Path) -> ExperimentResult:
+    """Read a result previously written by :func:`save_json`."""
+    return result_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

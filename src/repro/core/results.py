@@ -1,0 +1,86 @@
+"""Result types returned by every UDS / DDS solver in the library.
+
+All algorithms — the paper's PKMC/PWC and every baseline — return these
+same two dataclasses so the benchmark harness, tests, and examples can
+treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+__all__ = ["UDSResult", "DDSResult"]
+
+
+@dataclass
+class UDSResult:
+    """Outcome of an undirected densest-subgraph computation.
+
+    ``vertices`` hold the ids of the returned subgraph (for k-core based
+    algorithms: the k*-core), ``density`` its |E|/|V| density.  ``k_star``
+    is filled by core-based algorithms; ``iterations`` counts the
+    algorithm's outer iterations (the quantity of paper Table 6);
+    ``simulated_seconds`` is the SimRuntime clock if one was supplied.
+    """
+
+    algorithm: str
+    vertices: np.ndarray
+    density: float
+    iterations: int = 0
+    k_star: int | None = None
+    simulated_seconds: float = 0.0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_vertices(self) -> int:
+        """Size of the returned vertex set."""
+        return int(np.asarray(self.vertices).size)
+
+    def __repr__(self) -> str:
+        core = f", k*={self.k_star}" if self.k_star is not None else ""
+        return (
+            f"UDSResult({self.algorithm}: |S|={self.num_vertices}, "
+            f"rho={self.density:.4f}{core}, iters={self.iterations})"
+        )
+
+
+@dataclass
+class DDSResult:
+    """Outcome of a directed densest-subgraph computation.
+
+    ``s`` and ``t`` are the two (not necessarily disjoint) vertex sets;
+    ``density`` is |E(S,T)| / sqrt(|S||T|).  Core-based algorithms fill the
+    maximum cn-pair ``(x, y)`` and PWC additionally reports ``w_star``.
+    """
+
+    algorithm: str
+    s: np.ndarray
+    t: np.ndarray
+    density: float
+    x: int | None = None
+    y: int | None = None
+    w_star: int | None = None
+    iterations: int = 0
+    simulated_seconds: float = 0.0
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def s_size(self) -> int:
+        """|S| of the returned pair."""
+        return int(np.asarray(self.s).size)
+
+    @property
+    def t_size(self) -> int:
+        """|T| of the returned pair."""
+        return int(np.asarray(self.t).size)
+
+    def __repr__(self) -> str:
+        pair = f", [x,y]=[{self.x},{self.y}]" if self.x is not None else ""
+        wstar = f", w*={self.w_star}" if self.w_star is not None else ""
+        return (
+            f"DDSResult({self.algorithm}: |S|={self.s_size}, |T|={self.t_size}, "
+            f"rho={self.density:.4f}{pair}{wstar})"
+        )

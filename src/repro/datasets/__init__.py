@@ -1,0 +1,21 @@
+"""Synthetic replicas of the paper's 12 evaluation graphs."""
+
+from .registry import (
+    DIRECTED_DATASETS,
+    UNDIRECTED_DATASETS,
+    DatasetSpec,
+    dataset_names,
+    get_spec,
+    load_directed,
+    load_undirected,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "UNDIRECTED_DATASETS",
+    "DIRECTED_DATASETS",
+    "dataset_names",
+    "get_spec",
+    "load_undirected",
+    "load_directed",
+]

@@ -1,0 +1,79 @@
+"""Composable synthetic structure used by the dataset replicas.
+
+Three ingredients, mirroring what the paper's experiments rely on in real
+graphs:
+
+* a Chung–Lu power-law *background* (hubs, heavy tail);
+* a planted *clique* — a crisp k*-core whose h-indices stabilise within a
+  couple of sweeps, so PKMC's Theorem-1 stop fires early (paper Exp-2:
+  "the vertices with large degrees are concentrated");
+* long *paths* — the slowest structure for h-index convergence: the h=1
+  wave moves inward one vertex per sweep from each end, so a path of
+  length L forces Local to run ~L/2 sweeps while leaving k* (and PKMC's
+  stopping time) untouched.  This is the scaled-down analogue of the deep
+  peripheral core hierarchies that make Local take hundreds to thousands
+  of iterations on the paper's web graphs (Table 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.generators import chung_lu_undirected
+from ..graph.undirected import UndirectedGraph
+
+__all__ = ["clique_edges", "path_edges", "build_undirected_replica"]
+
+
+def clique_edges(vertices: np.ndarray) -> np.ndarray:
+    """All pairs among ``vertices`` as an edge array."""
+    k = vertices.size
+    left, right = np.triu_indices(k, k=1)
+    return np.stack([vertices[left], vertices[right]], axis=1)
+
+
+def path_edges(vertices: np.ndarray) -> np.ndarray:
+    """Consecutive pairs along ``vertices`` as an edge array."""
+    return np.stack([vertices[:-1], vertices[1:]], axis=1)
+
+
+def build_undirected_replica(
+    num_background_vertices: int,
+    target_edges: int,
+    exponent: float,
+    max_weight: float,
+    clique_size: int,
+    path_length: int,
+    seed: int,
+) -> UndirectedGraph:
+    """Background + planted clique + convergence-delaying path.
+
+    The clique is planted on fresh vertex ids and stitched to the
+    background with one random edge per clique vertex (keeping its k-core
+    intact); the path hangs off a random background vertex.  Total vertex
+    count is ``num_background_vertices + clique_size + path_length``.
+    """
+    rng = np.random.default_rng(seed)
+    background = chung_lu_undirected(
+        num_background_vertices,
+        target_edges,
+        exponent=exponent,
+        max_weight=max_weight,
+        seed=rng,
+    )
+    n_bg = num_background_vertices
+    clique_ids = np.arange(n_bg, n_bg + clique_size)
+    path_ids = np.arange(n_bg + clique_size, n_bg + clique_size + path_length)
+
+    pieces = [background.edges()]
+    if clique_size >= 2:
+        pieces.append(clique_edges(clique_ids))
+        anchors = rng.integers(0, n_bg, size=clique_size)
+        pieces.append(np.stack([clique_ids, anchors], axis=1))
+    if path_length >= 2:
+        pieces.append(path_edges(path_ids))
+        pieces.append(
+            np.asarray([[path_ids[0], int(rng.integers(0, n_bg))]], dtype=np.int64)
+        )
+    total_vertices = n_bg + clique_size + path_length
+    return UndirectedGraph.from_edges(total_vertices, np.concatenate(pieces))

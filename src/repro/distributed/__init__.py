@@ -1,0 +1,15 @@
+"""Simulated distributed (BSP/Pregel) execution — the paper's future work.
+
+The conclusion of the paper proposes porting the algorithms to a
+distributed platform such as GraphX for graphs that exceed one machine.
+This package realises that direction in simulation: a deterministic BSP
+cluster model and a vertex-centric port of PKMC, so the shared-memory vs.
+distributed trade-off (communication per superstep vs. per-core work) can
+be studied quantitatively.  See ``examples/distributed_study.py``.
+"""
+
+from .cluster import BSPCluster, ClusterConfig, Partition
+from .pkmc_bsp import distributed_pkmc
+from .pwc_bsp import distributed_pwc
+
+__all__ = ["BSPCluster", "ClusterConfig", "Partition", "distributed_pkmc", "distributed_pwc"]

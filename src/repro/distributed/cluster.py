@@ -1,0 +1,169 @@
+"""Simulated BSP cluster (the paper's GraphX future-work direction).
+
+The paper's conclusion proposes porting PKMC/PWC to a distributed
+platform "when the graph is too large to be kept by a single machine".
+This package provides the substrate for that study: a deterministic
+bulk-synchronous-parallel (BSP / Pregel-style) cluster simulation in the
+same spirit as :class:`~repro.runtime.SimRuntime` — vertex-centric
+programs execute their kernels once, while the cluster model charges per
+superstep:
+
+    T_superstep = max_w(compute_w) / core_speed
+                + max_w(bytes_in_w, bytes_out_w) / bandwidth
+                + network latency (one exchange round)
+                + barrier + aggregator round-trip
+
+which captures the two facts any distributed port must confront: the
+slowest partition gates every superstep, and message volume — not work —
+usually dominates for sparse iterative algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graph.undirected import UndirectedGraph
+
+__all__ = ["ClusterConfig", "Partition", "BSPCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Hardware model of the simulated cluster."""
+
+    num_workers: int = 8
+    work_unit_seconds: float = 5e-9
+    """Per work unit (one adjacency touch) on a worker core."""
+
+    network_bandwidth_bytes_per_s: float = 1.25e9
+    """Per-worker NIC bandwidth (10 GbE)."""
+
+    network_latency_seconds: float = 5e-5
+    """One bulk message exchange round (within-rack RTT)."""
+
+    barrier_seconds: float = 1e-4
+    """Global superstep barrier (coordinator round)."""
+
+    aggregator_seconds: float = 5e-5
+    """Cost of one global aggregation (h_max / counts) per superstep."""
+
+    bytes_per_message: int = 12
+    """One (target vertex id, value) message record."""
+
+    def __post_init__(self):
+        if self.num_workers < 1:
+            raise SimulationError("num_workers must be >= 1")
+
+
+@dataclass
+class Partition:
+    """The vertices owned by one worker (hash partitioning by default)."""
+
+    worker: int
+    vertices: np.ndarray
+    internal_degree_sum: int
+    cross_degree_sum: int
+
+
+class BSPCluster:
+    """Deterministic simulated BSP execution over a partitioned graph."""
+
+    def __init__(self, graph: UndirectedGraph, config: ClusterConfig | None = None):
+        self.graph = graph
+        self.config = config or ClusterConfig()
+        self.owner = self._hash_partition()
+        self.partitions = self._build_partitions()
+        self._now = 0.0
+        self.supersteps = 0
+        self.total_messages = 0
+        self.total_compute_units = 0.0
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def _hash_partition(self) -> np.ndarray:
+        """Assign vertex v to worker v mod W (GraphX-style hash partition)."""
+        return np.arange(self.graph.num_vertices) % self.config.num_workers
+
+    def _build_partitions(self) -> list[Partition]:
+        graph, owner = self.graph, self.owner
+        heads = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+        same_owner = owner[heads] == owner[graph.indices]
+        partitions = []
+        for worker in range(self.config.num_workers):
+            mine = owner == worker
+            vertex_ids = np.flatnonzero(mine)
+            slots = mine[heads]
+            internal = int(np.count_nonzero(slots & same_owner))
+            cross = int(np.count_nonzero(slots & ~same_owner))
+            partitions.append(
+                Partition(worker, vertex_ids, internal, cross)
+            )
+        return partitions
+
+    def cross_edge_fraction(self) -> float:
+        """Fraction of adjacency slots whose endpoints live on different
+        workers — the replication/communication factor of the partition."""
+        cross = sum(p.cross_degree_sum for p in self.partitions)
+        total = int(self.graph.degrees().sum())
+        return cross / total if total else 0.0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Simulated seconds elapsed."""
+        return self._now
+
+    def superstep(
+        self,
+        compute_units_per_vertex: np.ndarray,
+        message_counts_per_vertex: np.ndarray,
+        aggregate: bool = True,
+    ) -> float:
+        """Account one BSP superstep; return its simulated seconds.
+
+        ``compute_units_per_vertex[v]`` is the local work executed at v
+        this superstep; ``message_counts_per_vertex[v]`` the number of
+        messages v sends to *remote* neighbours (same-worker delivery is
+        free).  Both arrays are reduced per worker; the slowest worker
+        gates the step.
+        """
+        config = self.config
+        compute_units = np.asarray(compute_units_per_vertex, dtype=np.float64)
+        messages = np.asarray(message_counts_per_vertex, dtype=np.float64)
+        if compute_units.shape != (self.graph.num_vertices,):
+            raise SimulationError("per-vertex compute array has wrong shape")
+        if messages.shape != (self.graph.num_vertices,):
+            raise SimulationError("per-vertex message array has wrong shape")
+
+        worker_compute = np.bincount(
+            self.owner, weights=compute_units, minlength=config.num_workers
+        )
+        worker_out_bytes = (
+            np.bincount(self.owner, weights=messages, minlength=config.num_workers)
+            * config.bytes_per_message
+        )
+        compute_seconds = float(worker_compute.max()) * config.work_unit_seconds
+        network_seconds = (
+            float(worker_out_bytes.max()) / config.network_bandwidth_bytes_per_s
+            + config.network_latency_seconds
+        )
+        elapsed = compute_seconds + network_seconds + config.barrier_seconds
+        if aggregate:
+            elapsed += config.aggregator_seconds
+        self._now += elapsed
+        self.supersteps += 1
+        self.total_messages += int(messages.sum())
+        self.total_compute_units += float(compute_units.sum())
+        return elapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"BSPCluster(workers={self.config.num_workers}, "
+            f"supersteps={self.supersteps}, now={self._now:.4g}s)"
+        )

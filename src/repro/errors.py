@@ -1,0 +1,73 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid graphs or malformed graph inputs."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing an on-disk graph representation fails."""
+
+
+class EmptyGraphError(GraphError):
+    """Raised when an algorithm requires a non-empty graph but got none.
+
+    Densest-subgraph density is undefined on a graph without edges, so the
+    solvers refuse such inputs explicitly rather than returning a bogus
+    zero-density answer.
+    """
+
+
+class AlgorithmError(ReproError):
+    """Raised when an algorithm reaches an internally inconsistent state."""
+
+
+class SimulationError(ReproError):
+    """Base class for simulated-runtime failures."""
+
+
+class SimTimeLimitExceeded(SimulationError):
+    """The simulated clock passed the experiment's time budget.
+
+    Mirrors the paper's 10^5-second wall-clock cutoff in Exp-5: algorithms
+    whose simulated cost exceeds the budget are reported as DNF instead of
+    being run to completion.
+    """
+
+    def __init__(self, elapsed: float, limit: float):
+        super().__init__(
+            f"simulated time {elapsed:.3g}s exceeded the limit of {limit:.3g}s"
+        )
+        self.elapsed = elapsed
+        self.limit = limit
+
+
+class SimMemoryLimitExceeded(SimulationError):
+    """The simulated peak memory passed the configured budget.
+
+    Mirrors the paper's observation that PXY and PBD, which keep one graph
+    copy per thread, overflow 255 GB on the Twitter graph once p > 4.
+    """
+
+    def __init__(self, peak_bytes: float, limit_bytes: float):
+        super().__init__(
+            f"simulated memory {peak_bytes / 2**30:.2f} GiB exceeded the "
+            f"limit of {limit_bytes / 2**30:.2f} GiB"
+        )
+        self.peak_bytes = peak_bytes
+        self.limit_bytes = limit_bytes
+
+
+class DatasetError(ReproError):
+    """Raised for unknown dataset names or invalid dataset specifications."""

@@ -1,0 +1,5 @@
+"""Max-flow substrate used by the exact densest-subgraph solvers."""
+
+from .maxflow import FlowNetwork
+
+__all__ = ["FlowNetwork"]

@@ -1,0 +1,79 @@
+"""Graph substrate: CSR graphs, builders, I/O, generators, peeling state.
+
+This package is self-contained — every other subsystem (the core PKMC/PWC
+algorithms, all baselines, the benchmark harness) builds on these types and
+nothing here depends on anything outside :mod:`repro.errors`.
+"""
+
+from .builder import DirectedGraphBuilder, GraphBuilder
+from .components import (
+    component_of_vertices,
+    connected_components,
+    densest_component,
+    weakly_connected_components,
+)
+from .directed import DirectedGraph
+from .generators import (
+    chung_lu_directed,
+    chung_lu_undirected,
+    gnm_random_directed,
+    gnm_random_undirected,
+    planted_dense_subgraph,
+    planted_st_subgraph,
+    powerlaw_weights,
+)
+from .io import (
+    edgelist_from_string,
+    load_npz,
+    read_directed_edgelist,
+    read_undirected_edgelist,
+    save_npz,
+    write_edgelist,
+)
+from .peeling import DirectedPeelState, MinDegreeBucketQueue, VertexPeelState
+from .sampling import DEFAULT_FRACTIONS, edge_fraction_series, sample_edges
+from .stats import (
+    DirectedGraphSummary,
+    GraphSummary,
+    degree_histogram,
+    powerlaw_exponent_estimate,
+    summarize,
+    summarize_directed,
+)
+from .undirected import UndirectedGraph
+
+__all__ = [
+    "UndirectedGraph",
+    "DirectedGraph",
+    "connected_components",
+    "component_of_vertices",
+    "densest_component",
+    "weakly_connected_components",
+    "GraphBuilder",
+    "DirectedGraphBuilder",
+    "MinDegreeBucketQueue",
+    "VertexPeelState",
+    "DirectedPeelState",
+    "read_undirected_edgelist",
+    "read_directed_edgelist",
+    "edgelist_from_string",
+    "write_edgelist",
+    "save_npz",
+    "load_npz",
+    "gnm_random_undirected",
+    "gnm_random_directed",
+    "chung_lu_undirected",
+    "chung_lu_directed",
+    "planted_dense_subgraph",
+    "planted_st_subgraph",
+    "powerlaw_weights",
+    "sample_edges",
+    "edge_fraction_series",
+    "DEFAULT_FRACTIONS",
+    "GraphSummary",
+    "DirectedGraphSummary",
+    "summarize",
+    "summarize_directed",
+    "degree_histogram",
+    "powerlaw_exponent_estimate",
+]

@@ -1,0 +1,162 @@
+"""Incremental edge-list builders for both graph types.
+
+The CSR graph classes are immutable; these builders collect edges (with
+amortised O(1) appends into growing NumPy buffers) and produce a graph once.
+They also handle string/arbitrary vertex labels by interning them to dense
+integer ids, which the loaders in :mod:`repro.graph.io` rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from ..errors import GraphError
+from .directed import DirectedGraph
+from .undirected import UndirectedGraph
+
+__all__ = ["GraphBuilder", "DirectedGraphBuilder"]
+
+_INITIAL_CAPACITY = 1024
+
+
+class _EdgeBuffer:
+    """Append-only (src, dst) buffer with geometric growth."""
+
+    def __init__(self) -> None:
+        self._src = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._dst = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._size = 0
+
+    def append(self, u: int, v: int) -> None:
+        if self._size == self._src.size:
+            new_cap = self._src.size * 2
+            self._src = np.resize(self._src, new_cap)
+            self._dst = np.resize(self._dst, new_cap)
+        self._src[self._size] = u
+        self._dst[self._size] = v
+        self._size += 1
+
+    def extend(self, edges: np.ndarray) -> None:
+        count = edges.shape[0]
+        needed = self._size + count
+        if needed > self._src.size:
+            new_cap = max(needed, self._src.size * 2)
+            self._src = np.resize(self._src, new_cap)
+            self._dst = np.resize(self._dst, new_cap)
+        self._src[self._size:needed] = edges[:, 0]
+        self._dst[self._size:needed] = edges[:, 1]
+        self._size = needed
+
+    def view(self) -> np.ndarray:
+        return np.stack([self._src[: self._size], self._dst[: self._size]], axis=1)
+
+    def __len__(self) -> int:
+        return self._size
+
+
+class _LabelInterner:
+    """Maps arbitrary hashable labels to dense ids 0..n-1."""
+
+    def __init__(self) -> None:
+        self._ids: dict[Hashable, int] = {}
+        self._labels: list[Hashable] = []
+
+    def intern(self, label: Hashable) -> int:
+        existing = self._ids.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._labels)
+        self._ids[label] = new_id
+        self._labels.append(label)
+        return new_id
+
+    @property
+    def labels(self) -> list[Hashable]:
+        return self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+
+class GraphBuilder:
+    """Accumulates undirected edges and produces an :class:`UndirectedGraph`.
+
+    >>> b = GraphBuilder()
+    >>> b.add_edge("a", "b").add_edge("b", "c")  # doctest: +ELLIPSIS
+    <repro.graph.builder.GraphBuilder object at ...>
+    >>> g, labels = b.build_with_labels()
+    >>> g.num_edges, labels
+    (2, ['a', 'b', 'c'])
+    """
+
+    def __init__(self) -> None:
+        self._buffer = _EdgeBuffer()
+        self._interner = _LabelInterner()
+        self._explicit_n: int | None = None
+
+    def add_edge(self, u: Hashable, v: Hashable) -> "GraphBuilder":
+        """Add an undirected edge between two (possibly labelled) vertices."""
+        self._buffer.append(self._interner.intern(u), self._interner.intern(v))
+        return self
+
+    def add_edges_from_ids(self, edges: np.ndarray, num_vertices: int) -> "GraphBuilder":
+        """Bulk-add edges that already use integer ids in [0, num_vertices)."""
+        if len(self._interner):
+            raise GraphError("cannot mix labelled and pre-numbered edges")
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        self._buffer.extend(edges)
+        self._explicit_n = max(self._explicit_n or 0, num_vertices)
+        return self
+
+    def num_pending_edges(self) -> int:
+        """Return the number of edges added so far (before dedup)."""
+        return len(self._buffer)
+
+    def build(self) -> UndirectedGraph:
+        """Return the accumulated graph."""
+        n = self._explicit_n if self._explicit_n is not None else len(self._interner)
+        return UndirectedGraph.from_edges(n, self._buffer.view())
+
+    def build_with_labels(self) -> tuple[UndirectedGraph, list[Hashable]]:
+        """Return ``(graph, labels)`` where labels[i] is vertex i's label."""
+        return self.build(), self._interner.labels
+
+
+class DirectedGraphBuilder:
+    """Accumulates directed edges and produces a :class:`DirectedGraph`."""
+
+    def __init__(self) -> None:
+        self._buffer = _EdgeBuffer()
+        self._interner = _LabelInterner()
+        self._explicit_n: int | None = None
+
+    def add_edge(self, u: Hashable, v: Hashable) -> "DirectedGraphBuilder":
+        """Add a directed edge u -> v between (possibly labelled) vertices."""
+        self._buffer.append(self._interner.intern(u), self._interner.intern(v))
+        return self
+
+    def add_edges_from_ids(
+        self, edges: np.ndarray, num_vertices: int
+    ) -> "DirectedGraphBuilder":
+        """Bulk-add edges that already use integer ids in [0, num_vertices)."""
+        if len(self._interner):
+            raise GraphError("cannot mix labelled and pre-numbered edges")
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        self._buffer.extend(edges)
+        self._explicit_n = max(self._explicit_n or 0, num_vertices)
+        return self
+
+    def num_pending_edges(self) -> int:
+        """Return the number of edges added so far (before dedup)."""
+        return len(self._buffer)
+
+    def build(self) -> DirectedGraph:
+        """Return the accumulated graph."""
+        n = self._explicit_n if self._explicit_n is not None else len(self._interner)
+        return DirectedGraph.from_edges(n, self._buffer.view())
+
+    def build_with_labels(self) -> tuple[DirectedGraph, list[Hashable]]:
+        """Return ``(graph, labels)`` where labels[i] is vertex i's label."""
+        return self.build(), self._interner.labels

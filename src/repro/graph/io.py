@@ -1,0 +1,133 @@
+"""Edge-list I/O in the formats used by KONECT / SNAP style dumps.
+
+Supported text format: one edge per line, whitespace-separated endpoints,
+``#`` or ``%`` comment lines ignored, optional trailing columns (weights,
+timestamps) ignored.  Vertex labels may be arbitrary tokens; they are
+interned to dense integer ids in first-seen order.
+
+A compact binary ``.npz`` round-trip is also provided for cached synthetic
+datasets.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from .builder import DirectedGraphBuilder, GraphBuilder
+from .directed import DirectedGraph
+from .undirected import UndirectedGraph
+
+__all__ = [
+    "read_undirected_edgelist",
+    "read_directed_edgelist",
+    "write_edgelist",
+    "save_npz",
+    "load_npz",
+]
+
+PathLike = Union[str, Path]
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def _parse_lines(stream: TextIO, builder, path_hint: str) -> None:
+    for line_number, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_PREFIXES):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphFormatError(
+                f"{path_hint}:{line_number}: expected at least two columns, "
+                f"got {line!r}"
+            )
+        builder.add_edge(parts[0], parts[1])
+
+
+def read_undirected_edgelist(
+    source: PathLike | TextIO,
+) -> tuple[UndirectedGraph, list]:
+    """Parse an undirected edge list; return ``(graph, labels)``.
+
+    ``labels[i]`` is the original token for vertex id ``i``.
+    """
+    builder = GraphBuilder()
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            _parse_lines(stream, builder, str(source))
+    else:
+        _parse_lines(source, builder, "<stream>")
+    return builder.build_with_labels()
+
+
+def read_directed_edgelist(
+    source: PathLike | TextIO,
+) -> tuple[DirectedGraph, list]:
+    """Parse a directed edge list (u -> v per line); return ``(graph, labels)``."""
+    builder = DirectedGraphBuilder()
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            _parse_lines(stream, builder, str(source))
+    else:
+        _parse_lines(source, builder, "<stream>")
+    return builder.build_with_labels()
+
+
+def write_edgelist(
+    graph: UndirectedGraph | DirectedGraph,
+    target: PathLike | TextIO,
+    header: str | None = None,
+) -> None:
+    """Write a graph as a plain edge list (one ``u v`` line per edge)."""
+
+    def _write(stream: TextIO) -> None:
+        if header:
+            for header_line in header.splitlines():
+                stream.write(f"# {header_line}\n")
+        stream.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+        for u, v in graph.iter_edges():
+            stream.write(f"{u} {v}\n")
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as stream:
+            _write(stream)
+    else:
+        _write(target)
+
+
+def save_npz(graph: UndirectedGraph | DirectedGraph, path: PathLike) -> None:
+    """Save a graph to a compressed ``.npz`` file."""
+    edges = graph.edges()
+    kind = "directed" if isinstance(graph, DirectedGraph) else "undirected"
+    np.savez_compressed(
+        path,
+        kind=np.array(kind),
+        num_vertices=np.array(graph.num_vertices, dtype=np.int64),
+        edges=edges.astype(np.int64),
+    )
+
+
+def load_npz(path: PathLike) -> UndirectedGraph | DirectedGraph:
+    """Load a graph saved by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            kind = str(data["kind"])
+            num_vertices = int(data["num_vertices"])
+            edges = data["edges"]
+        except KeyError as exc:
+            raise GraphFormatError(f"{path}: missing field {exc}") from exc
+    if kind == "directed":
+        return DirectedGraph.from_edges(num_vertices, edges)
+    if kind == "undirected":
+        return UndirectedGraph.from_edges(num_vertices, edges)
+    raise GraphFormatError(f"{path}: unknown graph kind {kind!r}")
+
+
+def edgelist_from_string(text: str, directed: bool = False):
+    """Parse an edge list held in a string; convenience for tests/examples."""
+    reader = read_directed_edgelist if directed else read_undirected_edgelist
+    return reader(io.StringIO(text))

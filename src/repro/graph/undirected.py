@@ -1,0 +1,233 @@
+"""Immutable CSR representation of a simple undirected graph.
+
+The whole library works on vertex ids ``0 .. n-1``.  Graphs are stored in
+compressed sparse row (CSR) form: ``indptr`` has ``n + 1`` entries and the
+neighbours of vertex ``v`` are ``indices[indptr[v]:indptr[v + 1]]``, sorted
+ascending.  Each undirected edge appears twice in ``indices`` (once per
+endpoint), so ``len(indices) == 2 * num_edges``.
+
+Construction normalises the input: self-loops are dropped and parallel edges
+are collapsed, matching the simple graphs used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import GraphError
+
+__all__ = ["UndirectedGraph"]
+
+
+def _normalize_edges(n: int, edges: np.ndarray) -> np.ndarray:
+    """Return unique, self-loop-free edges as (u, v) rows with u < v."""
+    if edges.size == 0:
+        return edges.reshape(0, 2)
+    if edges.min() < 0 or edges.max() >= n:
+        raise GraphError(
+            f"edge endpoint out of range for a graph with {n} vertices"
+        )
+    u = np.minimum(edges[:, 0], edges[:, 1])
+    v = np.maximum(edges[:, 0], edges[:, 1])
+    keep = u != v
+    canon = np.stack([u[keep], v[keep]], axis=1)
+    if canon.size == 0:
+        return canon.reshape(0, 2)
+    return np.unique(canon, axis=0)
+
+
+class UndirectedGraph:
+    """A simple undirected graph in CSR form.
+
+    Instances are conceptually immutable; algorithms that "peel" vertices or
+    edges keep their own alive-masks and degree arrays instead of mutating
+    the graph.
+    """
+
+    __slots__ = ("indptr", "indices", "_num_edges")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indptr.size == 0:
+            raise GraphError("indptr must be a 1-D array with >= 1 entry")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise GraphError("indptr does not describe the indices array")
+        if np.any(np.diff(self.indptr) < 0):
+            raise GraphError("indptr must be non-decreasing")
+        if self.indices.size % 2 != 0:
+            raise GraphError(
+                "undirected CSR must contain each edge twice; got an odd "
+                "number of adjacency entries"
+            )
+        self._num_edges = self.indices.size // 2
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, num_vertices: int, edges: Iterable[Sequence[int]] | np.ndarray
+    ) -> "UndirectedGraph":
+        """Build a graph from an iterable of (u, v) pairs.
+
+        Self-loops are dropped and duplicate edges collapsed.
+
+        >>> g = UndirectedGraph.from_edges(3, [(0, 1), (1, 2), (1, 0)])
+        >>> g.num_edges
+        2
+        >>> g.neighbors(1).tolist()
+        [0, 2]
+        """
+        if num_vertices < 0:
+            raise GraphError("num_vertices must be non-negative")
+        edge_array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        edge_array = edge_array.astype(np.int64, copy=False).reshape(-1, 2)
+        canon = _normalize_edges(num_vertices, edge_array)
+        return cls._from_canonical_edges(num_vertices, canon)
+
+    @classmethod
+    def _from_canonical_edges(
+        cls, num_vertices: int, canon: np.ndarray
+    ) -> "UndirectedGraph":
+        """Build CSR from deduplicated (u < v) edge rows."""
+        heads = np.concatenate([canon[:, 0], canon[:, 1]])
+        tails = np.concatenate([canon[:, 1], canon[:, 0]])
+        order = np.lexsort((tails, heads))
+        heads = heads[order]
+        tails = tails[order]
+        degrees = np.bincount(heads, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        return cls(indptr, tails)
+
+    @classmethod
+    def empty(cls, num_vertices: int = 0) -> "UndirectedGraph":
+        """Return a graph with ``num_vertices`` vertices and no edges."""
+        return cls(np.zeros(num_vertices + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    def degrees(self) -> np.ndarray:
+        """Return the degree of every vertex as an int64 array."""
+        return np.diff(self.indptr)
+
+    def degree(self, v: int) -> int:
+        """Return the degree of vertex ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def max_degree(self) -> int:
+        """Return the maximum degree, or 0 for an edgeless graph."""
+        if self.num_vertices == 0:
+            return 0
+        return int(self.degrees().max(initial=0))
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Return the sorted neighbour ids of ``v`` (a CSR slice view)."""
+        return self.indices[self.indptr[v]:self.indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return True iff the edge {u, v} is present."""
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return bool(pos < nbrs.size and nbrs[pos] == v)
+
+    def edges(self) -> np.ndarray:
+        """Return all edges as an (m, 2) array with u < v per row."""
+        heads = np.repeat(np.arange(self.num_vertices), self.degrees())
+        mask = heads < self.indices
+        return np.stack([heads[mask], self.indices[mask]], axis=1)
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield edges as (u, v) tuples with u < v."""
+        for u, v in self.edges():
+            yield int(u), int(v)
+
+    def density(self) -> float:
+        """Return the paper's undirected density rho = |E| / |V|.
+
+        Returns 0.0 for the empty graph so callers comparing candidate
+        subgraphs never divide by zero.
+        """
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(
+        self, vertices: Iterable[int] | np.ndarray
+    ) -> tuple["UndirectedGraph", np.ndarray]:
+        """Return ``(subgraph, original_ids)`` induced by ``vertices``.
+
+        Vertices are relabelled to ``0..k-1``; ``original_ids[i]`` maps the
+        new id ``i`` back to its id in this graph.
+        """
+        keep = np.unique(np.asarray(list(vertices) if not isinstance(vertices, np.ndarray) else vertices, dtype=np.int64))
+        if keep.size and (keep[0] < 0 or keep[-1] >= self.num_vertices):
+            raise GraphError("induced vertex id out of range")
+        new_id = np.full(self.num_vertices, -1, dtype=np.int64)
+        new_id[keep] = np.arange(keep.size)
+        heads = np.repeat(np.arange(self.num_vertices), self.degrees())
+        mask = (new_id[heads] >= 0) & (new_id[self.indices] >= 0) & (heads < self.indices)
+        canon = np.stack([new_id[heads[mask]], new_id[self.indices[mask]]], axis=1)
+        sub = UndirectedGraph._from_canonical_edges(keep.size, np.unique(canon, axis=0) if canon.size else canon)
+        return sub, keep
+
+    def subgraph_from_edge_mask(self, edge_mask: np.ndarray) -> "UndirectedGraph":
+        """Return a graph on the same vertex set keeping masked edges only.
+
+        ``edge_mask`` indexes the rows of :meth:`edges`.
+        """
+        all_edges = self.edges()
+        if edge_mask.shape[0] != all_edges.shape[0]:
+            raise GraphError("edge mask length must equal num_edges")
+        return UndirectedGraph._from_canonical_edges(self.num_vertices, all_edges[edge_mask])
+
+    def relabeled(self, permutation: np.ndarray) -> "UndirectedGraph":
+        """Return an isomorphic graph with vertex ``v`` renamed to ``permutation[v]``."""
+        perm = np.asarray(permutation, dtype=np.int64)
+        if perm.size != self.num_vertices or np.unique(perm).size != perm.size:
+            raise GraphError("permutation must be a bijection on the vertex set")
+        old = self.edges()
+        return UndirectedGraph.from_edges(
+            self.num_vertices, np.stack([perm[old[:, 0]], perm[old[:, 1]]], axis=1)
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, UndirectedGraph):
+            return NotImplemented
+        return (
+            self.num_vertices == other.num_vertices
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"UndirectedGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of the CSR arrays in bytes."""
+        return int(self.indptr.nbytes + self.indices.nbytes)

@@ -1,0 +1,23 @@
+"""Simulated shared-memory parallel runtime (the OpenMP substitution).
+
+See DESIGN.md section 2 for why this exists: the paper's algorithms are
+OpenMP programs and their evaluation is about parallel scaling, which a
+GIL-bound single-core Python process cannot measure natively.  Algorithms
+declare their parallel structure here and receive deterministic simulated
+timings, memory footprints, and budget enforcement in return.
+"""
+
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .metrics import RunMetrics, TimeBreakdown
+from .scheduler import Schedule, compute_thread_loads
+from .simruntime import SimRuntime
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "SimRuntime",
+    "RunMetrics",
+    "TimeBreakdown",
+    "Schedule",
+    "compute_thread_loads",
+]

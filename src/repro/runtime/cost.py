@@ -1,0 +1,92 @@
+"""Cost model for the simulated shared-memory runtime.
+
+The paper's experiments run OpenMP on a 40-core Xeon.  This reproduction
+cannot execute real shared-memory parallelism (single-core container, GIL),
+so algorithms instead *declare* their parallel structure to
+:class:`~repro.runtime.simruntime.SimRuntime`, and this cost model converts
+that structure into simulated seconds:
+
+* every abstract **work unit** (one adjacency-entry touch, one comparison)
+  costs ``work_unit_seconds`` — calibrated to a C++-like 5 ns;
+* entering a parallel region (OpenMP ``parallel for``) costs a **spawn**
+  overhead that grows with the thread count, which is what makes many tiny
+  iterations unprofitable at high p (paper Exp-3/Exp-7 discussion);
+* every loop ends with a **barrier** whose cost grows logarithmically in p;
+* **atomic** updates cost extra and degrade under contention.
+
+The defaults are calibrated so the relative behaviour reported by the paper
+(near-linear PKMC scaling; PKC/PBD flattening or degrading at high p)
+emerges from the model rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["CostModel", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Parameters translating abstract work into simulated seconds."""
+
+    work_unit_seconds: float = 5e-9
+    """Cost of one abstract unit of work (one edge/adjacency touch)."""
+
+    spawn_base_seconds: float = 4e-6
+    """Fixed cost of opening a parallel region (thread team wake-up)."""
+
+    spawn_per_thread_seconds: float = 5e-7
+    """Additional per-thread cost of opening a parallel region."""
+
+    barrier_base_seconds: float = 1e-6
+    """Fixed cost of the implicit barrier ending a parallel loop."""
+
+    barrier_log_seconds: float = 8e-7
+    """Barrier cost multiplier for log2(p) (tree-combining barrier)."""
+
+    atomic_seconds: float = 2.5e-8
+    """Cost of one uncontended atomic read-modify-write."""
+
+    atomic_contention_factor: float = 0.08
+    """Extra atomic cost fraction per additional competing thread."""
+
+    sequential_overhead_seconds: float = 0.0
+    """Optional flat cost added to every serial charge (defaults to none)."""
+
+    bytes_per_edge: int = 16
+    """Modelled memory footprint per stored edge (two 8-byte endpoints)."""
+
+    bytes_per_vertex: int = 24
+    """Modelled memory footprint per vertex of auxiliary algorithm state."""
+
+    def spawn_seconds(self, num_threads: int) -> float:
+        """Cost of opening a parallel region with ``num_threads`` threads."""
+        if num_threads <= 1:
+            return 0.0
+        return self.spawn_base_seconds + self.spawn_per_thread_seconds * num_threads
+
+    def barrier_seconds(self, num_threads: int) -> float:
+        """Cost of the barrier closing a parallel loop."""
+        if num_threads <= 1:
+            return 0.0
+        return self.barrier_base_seconds + self.barrier_log_seconds * math.log2(
+            num_threads
+        )
+
+    def atomic_op_seconds(self, num_threads: int) -> float:
+        """Cost of one atomic op when ``num_threads`` threads may contend."""
+        contention = 1.0 + self.atomic_contention_factor * max(num_threads - 1, 0)
+        return self.atomic_seconds * contention
+
+    def work_seconds(self, units: float) -> float:
+        """Cost of ``units`` abstract work units on one thread."""
+        return units * self.work_unit_seconds
+
+    def graph_bytes(self, num_vertices: int, num_edges: int) -> int:
+        """Modelled resident size of one graph copy."""
+        return num_vertices * self.bytes_per_vertex + num_edges * self.bytes_per_edge
+
+
+DEFAULT_COST_MODEL = CostModel()

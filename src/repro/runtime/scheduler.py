@@ -1,0 +1,89 @@
+"""Loop schedulers for the simulated runtime.
+
+Given the per-item work units of a parallel loop and a thread count, each
+scheduler returns the simulated per-thread loads (in work units).  The
+elapsed time of the loop is then ``max(loads)`` — the makespan — so the gap
+between schedulers is exactly the load imbalance the paper discusses for
+PXY (static per-x assignment) versus the well-balanced PKMC sweeps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Literal
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["Schedule", "compute_thread_loads"]
+
+Schedule = Literal["static", "static_cyclic", "dynamic", "tasks"]
+
+
+def _static_block(costs: np.ndarray, num_threads: int) -> np.ndarray:
+    """OpenMP ``schedule(static)``: contiguous near-equal item blocks."""
+    bounds = np.linspace(0, costs.size, num_threads + 1).astype(np.int64)
+    prefix = np.concatenate([[0.0], np.cumsum(costs)])
+    return prefix[bounds[1:]] - prefix[bounds[:-1]]
+
+
+def _static_cyclic(costs: np.ndarray, num_threads: int, chunk: int) -> np.ndarray:
+    """OpenMP ``schedule(static, chunk)``: round-robin chunk assignment."""
+    loads = np.zeros(num_threads)
+    num_chunks = -(-costs.size // chunk)
+    for chunk_index in range(num_chunks):
+        start = chunk_index * chunk
+        loads[chunk_index % num_threads] += costs[start:start + chunk].sum()
+    return loads
+
+
+def _dynamic(costs: np.ndarray, num_threads: int, chunk: int) -> np.ndarray:
+    """OpenMP ``schedule(dynamic, chunk)``: next chunk to the first idle thread.
+
+    Simulated as greedy list scheduling: chunks are taken in order and each
+    goes to the currently least-loaded thread, which is exactly the makespan
+    a work queue achieves when chunk fetch overhead is negligible.
+    """
+    loads = [(0.0, t) for t in range(num_threads)]
+    heapq.heapify(loads)
+    result = np.zeros(num_threads)
+    for start in range(0, costs.size, chunk):
+        load, thread = heapq.heappop(loads)
+        load += float(costs[start:start + chunk].sum())
+        result[thread] = load
+        heapq.heappush(loads, (load, thread))
+    return result
+
+
+def compute_thread_loads(
+    costs: np.ndarray,
+    num_threads: int,
+    schedule: Schedule = "static",
+    chunk: int | None = None,
+) -> np.ndarray:
+    """Return simulated per-thread loads (work units) for one parallel loop.
+
+    ``schedule="tasks"`` models a task pool where every item is its own
+    task (used for PXY's one-[x,y]-core-per-thread decomposition jobs).
+    """
+    costs = np.asarray(costs, dtype=np.float64).ravel()
+    if num_threads < 1:
+        raise SimulationError("num_threads must be >= 1")
+    if costs.size == 0:
+        return np.zeros(num_threads)
+    if np.any(costs < 0):
+        raise SimulationError("work-unit costs must be non-negative")
+    if num_threads == 1:
+        loads = np.zeros(1)
+        loads[0] = float(costs.sum())
+        return loads
+    if schedule == "static":
+        return _static_block(costs, num_threads)
+    if schedule == "static_cyclic":
+        return _static_cyclic(costs, num_threads, chunk or 1)
+    if schedule == "dynamic":
+        return _dynamic(costs, num_threads, chunk or max(costs.size // (num_threads * 8), 1))
+    if schedule == "tasks":
+        return _dynamic(costs, num_threads, 1)
+    raise SimulationError(f"unknown schedule {schedule!r}")

@@ -1,0 +1,220 @@
+"""Deterministic simulated shared-memory parallel runtime.
+
+Algorithms in this library are written against an OpenMP-like interface:
+they execute their kernels once (serially, typically vectorised with NumPy)
+and *declare* the parallel structure of each loop to a :class:`SimRuntime`.
+The runtime advances a simulated clock by the makespan of each declared
+loop under the configured :class:`~repro.runtime.cost.CostModel` and
+scheduler, tracks peak simulated memory, and enforces the experiment's
+time/memory budgets exactly the way the paper's 10^5-second cutoff and
+255 GB RAM ceiling shaped its Figures 8–10.
+
+Example::
+
+    rt = SimRuntime(num_threads=32)
+    with rt.parallel_region():
+        rt.parfor(per_vertex_costs)          # one "for ... in parallel" sweep
+    print(rt.now, rt.metrics.breakdown.as_dict())
+
+Determinism: no wall clock and no randomness is consulted anywhere, so a
+given (algorithm, graph, p) triple always yields the same simulated time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import SimMemoryLimitExceeded, SimTimeLimitExceeded, SimulationError
+from .cost import DEFAULT_COST_MODEL, CostModel
+from .metrics import RunMetrics, TimeBreakdown
+from .scheduler import Schedule, compute_thread_loads
+
+__all__ = ["SimRuntime"]
+
+
+class SimRuntime:
+    """Simulated clock + accounting for one parallel algorithm run."""
+
+    def __init__(
+        self,
+        num_threads: int = 1,
+        cost_model: CostModel | None = None,
+        time_limit: float | None = None,
+        memory_limit_bytes: float | None = None,
+    ):
+        if num_threads < 1:
+            raise SimulationError("num_threads must be >= 1")
+        self.num_threads = num_threads
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.time_limit = time_limit
+        self.memory_limit_bytes = memory_limit_bytes
+        self.metrics = RunMetrics()
+        self._now = 0.0
+        self._current_memory = 0
+        self._in_region = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def _advance(self, delta: float) -> None:
+        if delta < 0:
+            raise SimulationError("cannot advance the clock backwards")
+        self._now += delta
+        if self.time_limit is not None and self._now > self.time_limit:
+            raise SimTimeLimitExceeded(self._now, self.time_limit)
+
+    # ------------------------------------------------------------------
+    # Parallel structure declaration
+    # ------------------------------------------------------------------
+    @contextmanager
+    def parallel_region(self) -> Iterator["SimRuntime"]:
+        """Declare an OpenMP-style parallel region (charges spawn once).
+
+        Loops issued inside the region skip their per-loop spawn cost; the
+        team is created once at region entry, as with ``#pragma omp
+        parallel`` enclosing several ``for`` loops.
+        """
+        spawn = self.cost_model.spawn_seconds(self.num_threads)
+        self.metrics.breakdown.spawn += spawn
+        self._advance(spawn)
+        was_in_region = self._in_region
+        self._in_region = True
+        try:
+            yield self
+        finally:
+            self._in_region = was_in_region
+
+    def parfor(
+        self,
+        costs: np.ndarray | float,
+        schedule: Schedule = "static",
+        chunk: int | None = None,
+        atomic_ops: int = 0,
+    ) -> float:
+        """Account one parallel loop; return its simulated elapsed seconds.
+
+        ``costs`` is either an array of per-item work units or, as a
+        convenience, a scalar meaning "one item of this many units per
+        thread-independent loop" (treated as a single uniform array is not
+        meaningful, so scalars are interpreted as total units split evenly).
+        ``atomic_ops`` counts atomic read-modify-writes performed across the
+        whole loop; they are costed with the model's contention factor.
+        """
+        model = self.cost_model
+        p = self.num_threads
+        if np.isscalar(costs):
+            total_units = float(costs)
+            loads = np.full(p, total_units / p)
+            items = p
+        else:
+            cost_array = np.asarray(costs, dtype=np.float64).ravel()
+            loads = compute_thread_loads(cost_array, p, schedule=schedule, chunk=chunk)
+            total_units = float(cost_array.sum())
+            items = int(cost_array.size)
+
+        spawn = 0.0 if self._in_region else model.spawn_seconds(p)
+        barrier = model.barrier_seconds(p)
+        max_load = float(loads.max(initial=0.0))
+        mean_load = total_units / p
+        work_seconds = model.work_seconds(mean_load)
+        imbalance_seconds = model.work_seconds(max_load - mean_load)
+        atomic_seconds = atomic_ops * model.atomic_op_seconds(p) / p
+
+        elapsed = spawn + work_seconds + imbalance_seconds + barrier + atomic_seconds
+        breakdown = self.metrics.breakdown
+        breakdown.work += work_seconds
+        breakdown.imbalance += imbalance_seconds
+        breakdown.spawn += spawn
+        breakdown.barrier += barrier
+        breakdown.atomic += atomic_seconds
+        self.metrics.parallel_loops += 1
+        self.metrics.items_processed += items
+        self.metrics.atomic_ops += atomic_ops
+        self._advance(elapsed)
+        return elapsed
+
+    def par_tasks(self, task_costs: np.ndarray, atomic_ops: int = 0) -> float:
+        """Account a task-pool execution (used by PXY's per-x jobs)."""
+        return self.parfor(task_costs, schedule="tasks", atomic_ops=atomic_ops)
+
+    def charge_serial(self, units: float) -> float:
+        """Account serial work of ``units`` work units; return the seconds."""
+        if units < 0:
+            raise SimulationError("work units must be non-negative")
+        seconds = self.cost_model.work_seconds(units) + self.cost_model.sequential_overhead_seconds
+        self.metrics.breakdown.serial += seconds
+        self._advance(seconds)
+        return seconds
+
+    # ------------------------------------------------------------------
+    # Memory accounting
+    # ------------------------------------------------------------------
+    def allocate(self, num_bytes: float, per_thread: bool = False) -> int:
+        """Register a simulated allocation; return the byte count booked.
+
+        ``per_thread=True`` multiplies by the thread count — this models
+        algorithms such as PXY and PBD that give every thread its own graph
+        copy, which is what blows past 255 GB on Twitter for p > 4 in the
+        paper.  Raises :class:`SimMemoryLimitExceeded` when the configured
+        budget is exceeded.
+        """
+        if num_bytes < 0:
+            raise SimulationError("allocation size must be non-negative")
+        booked = int(num_bytes) * (self.num_threads if per_thread else 1)
+        self._current_memory += booked
+        self.metrics.peak_memory_bytes = max(
+            self.metrics.peak_memory_bytes, self._current_memory
+        )
+        if (
+            self.memory_limit_bytes is not None
+            and self._current_memory > self.memory_limit_bytes
+        ):
+            raise SimMemoryLimitExceeded(self._current_memory, self.memory_limit_bytes)
+        return booked
+
+    def free(self, booked_bytes: int) -> None:
+        """Release a previously booked allocation."""
+        if booked_bytes < 0 or booked_bytes > self._current_memory:
+            raise SimulationError("free does not match an outstanding allocation")
+        self._current_memory -= booked_bytes
+
+    @contextmanager
+    def allocation(self, num_bytes: float, per_thread: bool = False) -> Iterator[int]:
+        """Context-managed :meth:`allocate` / :meth:`free` pair."""
+        booked = self.allocate(num_bytes, per_thread=per_thread)
+        try:
+            yield booked
+        finally:
+            self.free(booked)
+
+    def allocate_graph(self, graph, per_thread: bool = False) -> int:
+        """Book a simulated copy of ``graph`` (per thread if requested)."""
+        size = self.cost_model.graph_bytes(graph.num_vertices, graph.num_edges)
+        return self.allocate(size, per_thread=per_thread)
+
+    @property
+    def current_memory_bytes(self) -> int:
+        """Outstanding simulated allocation in bytes."""
+        return self._current_memory
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def breakdown(self) -> TimeBreakdown:
+        """Shortcut to the metrics' time breakdown."""
+        return self.metrics.breakdown
+
+    def __repr__(self) -> str:
+        return (
+            f"SimRuntime(p={self.num_threads}, now={self._now:.6g}s, "
+            f"loops={self.metrics.parallel_loops})"
+        )

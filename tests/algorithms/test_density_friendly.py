@@ -1,0 +1,78 @@
+"""Tests for the density-friendly (locally-dense) decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.undirected import (
+    brute_force_uds,
+    density_friendly_decomposition,
+    density_profile,
+)
+from repro.errors import EmptyGraphError
+from repro.graph import UndirectedGraph, gnm_random_undirected
+
+
+class TestDecomposition:
+    def test_fig2_chain(self, fig2_graph):
+        chain = density_friendly_decomposition(fig2_graph)
+        # First block: the K4 at marginal density 1.5; then the tail at 1.0.
+        assert chain[0][0].tolist() == [0, 1, 2, 3]
+        assert chain[0][1] == pytest.approx(1.5)
+        assert chain[-1][0].size == fig2_graph.num_vertices
+
+    def test_blocks_nested(self, fig2_graph):
+        chain = density_friendly_decomposition(fig2_graph)
+        for (smaller, _), (larger, _) in zip(chain, chain[1:]):
+            assert set(smaller.tolist()) < set(larger.tolist())
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            density_friendly_decomposition(UndirectedGraph.empty(3))
+
+    def test_size_cap(self):
+        with pytest.raises(ValueError):
+            density_friendly_decomposition(
+                gnm_random_undirected(500, 900, seed=0), max_vertices=100
+            )
+
+    def test_isolated_vertices_end_up_in_last_block(self):
+        g = UndirectedGraph.from_edges(5, [(0, 1), (1, 2), (0, 2)])
+        chain = density_friendly_decomposition(g)
+        assert chain[-1][0].size == 5
+        assert chain[-1][1] == pytest.approx(0.0)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_first_block_is_densest_subgraph(self, seed):
+        g = gnm_random_undirected(11, 24, seed=seed)
+        if g.num_edges == 0:
+            return
+        chain = density_friendly_decomposition(g)
+        assert chain[0][1] == pytest.approx(brute_force_uds(g).density)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_marginal_densities_non_increasing(self, seed):
+        g = gnm_random_undirected(12, 28, seed=seed)
+        if g.num_edges == 0:
+            return
+        densities = [d for _, d in density_friendly_decomposition(g)]
+        for earlier, later in zip(densities, densities[1:]):
+            assert earlier >= later - 1e-9
+
+
+class TestProfile:
+    def test_profile_levels(self, fig2_graph):
+        profile = density_profile(fig2_graph)
+        assert np.all(profile[:4] == pytest.approx(1.5))
+        assert np.all(profile[4:] == pytest.approx(1.0))
+
+    def test_profile_upper_bounds_everything(self):
+        g = gnm_random_undirected(12, 30, seed=1)
+        if g.num_edges == 0:
+            return
+        profile = density_profile(g)
+        optimum = brute_force_uds(g).density
+        assert profile.max() == pytest.approx(optimum)

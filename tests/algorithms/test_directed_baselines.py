@@ -1,0 +1,276 @@
+"""Tests for the directed DSD baselines (PBS, PFKS, PBD, PFW, PXY)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.directed import (
+    brute_force_dds,
+    charikar_directed_peel_for_ratio,
+    exact_dds_flow,
+    pbd_dds,
+    pbs_dds,
+    pfks_dds,
+    pfw_directed_dds,
+    pxy_dds,
+    ratio_grid,
+    st_density,
+)
+from repro.core import pwc
+from repro.errors import EmptyGraphError, SimTimeLimitExceeded
+from repro.graph import DirectedGraph, gnm_random_directed
+from repro.runtime import SimRuntime
+
+
+class TestCommonHelpers:
+    def test_st_density(self, fig3_graph):
+        assert st_density(
+            fig3_graph, np.array([0, 1]), np.array([4, 5, 6])
+        ) == pytest.approx(6 / np.sqrt(6))
+
+    def test_st_density_empty(self, fig3_graph):
+        assert st_density(fig3_graph, np.array([]), np.array([4])) == 0.0
+
+    def test_ratio_grid_covers_range(self):
+        grid = ratio_grid(100, 2.0)
+        assert min(grid) <= 1 / 100 * 2
+        assert max(grid) == 100
+        assert 1.0 in grid
+
+    def test_ratio_peel_quality(self, small_random_directed):
+        # Peeling with the optimum's own ratio must be a 2-approximation.
+        for seed in range(8):
+            d = small_random_directed(seed)
+            if d.num_edges == 0:
+                continue
+            exact = brute_force_dds(d)
+            ratio = exact.s_size / exact.t_size
+            _, _, density = charikar_directed_peel_for_ratio(d, ratio)
+            assert density * 2 + 1e-9 >= exact.density
+
+
+class TestPBS:
+    def test_two_approximation(self, small_random_directed):
+        for seed in range(6):
+            d = small_random_directed(seed)
+            if d.num_edges == 0:
+                continue
+            approx = pbs_dds(d)
+            exact = brute_force_dds(d)
+            assert approx.density * 2 + 1e-9 >= exact.density
+
+    def test_often_exact_on_small_graphs(self, small_random_directed):
+        hits = 0
+        total = 0
+        for seed in range(8):
+            d = small_random_directed(seed)
+            if d.num_edges == 0:
+                continue
+            total += 1
+            if pbs_dds(d).density == pytest.approx(brute_force_dds(d).density):
+                hits += 1
+        assert hits >= total // 2
+
+    def test_quadratic_cost_dnfs_under_budget(self):
+        d = gnm_random_directed(3000, 9000, seed=0)
+        with pytest.raises(SimTimeLimitExceeded):
+            pbs_dds(d, runtime=SimRuntime(32, time_limit=0.5))
+
+    def test_ratio_cap_limits_work(self, small_random_directed):
+        d = small_random_directed(0)
+        result = pbs_dds(d, max_ratio_denominator=3)
+        assert result.iterations <= 7  # distinct a/b with a, b <= 3
+
+
+class TestPFKS:
+    def test_reasonable_quality(self, small_random_directed):
+        for seed in range(6):
+            d = small_random_directed(seed)
+            if d.num_edges == 0:
+                continue
+            approx = pfks_dds(d)
+            exact = brute_force_dds(d)
+            # The fixed KS variant has ratio > 2 in theory; stay lenient.
+            assert approx.density * 3 + 1e-9 >= exact.density
+
+    def test_linear_task_count_dnfs_under_budget(self):
+        d = gnm_random_directed(20000, 40000, seed=0)
+        with pytest.raises(SimTimeLimitExceeded):
+            pfks_dds(d, runtime=SimRuntime(32, time_limit=0.5))
+
+    def test_max_rounds_cap(self, small_random_directed):
+        d = small_random_directed(1)
+        result = pfks_dds(d, max_rounds=4)
+        assert result.iterations <= 4
+
+
+class TestPBD:
+    def test_eight_approximation(self, small_random_directed):
+        # 2 * delta * (1 + eps) = 8 with the paper's defaults.
+        for seed in range(10):
+            d = small_random_directed(seed)
+            if d.num_edges == 0:
+                continue
+            approx = pbd_dds(d)
+            exact = brute_force_dds(d)
+            assert approx.density * 8 + 1e-9 >= exact.density
+
+    def test_parameter_validation(self, fig3_graph):
+        with pytest.raises(ValueError):
+            pbd_dds(fig3_graph, delta=1.0)
+        with pytest.raises(ValueError):
+            pbd_dds(fig3_graph, epsilon=0.0)
+
+    def test_per_thread_memory_booked(self, fig3_graph):
+        rt = SimRuntime(8)
+        pbd_dds(fig3_graph, runtime=rt)
+        expected = 8 * rt.cost_model.graph_bytes(
+            fig3_graph.num_vertices, fig3_graph.num_edges
+        )
+        assert rt.metrics.peak_memory_bytes == expected
+
+    def test_sweet_spot_before_64_threads(self):
+        from repro.datasets import load_directed
+
+        d = load_directed("AR")
+        times = {
+            p: pbd_dds(d, runtime=SimRuntime(p)).simulated_seconds
+            for p in (8, 16, 32, 64)
+        }
+        assert times[64] > min(times.values())  # degrades past the optimum
+
+
+class TestPFWDirected:
+    def test_positive_density_found(self, small_random_directed):
+        for seed in range(5):
+            d = small_random_directed(seed)
+            if d.num_edges == 0:
+                continue
+            result = pfw_directed_dds(d, num_rounds=64)
+            exact = brute_force_dds(d)
+            assert 0 < result.density <= exact.density + 1e-9
+            assert result.density * 3 + 1e-9 >= exact.density
+
+    def test_invalid_epsilon(self, fig3_graph):
+        with pytest.raises(ValueError):
+            pfw_directed_dds(fig3_graph, epsilon=0.0)
+
+    def test_charges_before_running(self):
+        d = gnm_random_directed(2000, 20000, seed=1)
+        with pytest.raises(SimTimeLimitExceeded):
+            pfw_directed_dds(d, runtime=SimRuntime(32, time_limit=1e-4))
+
+
+class TestPXY:
+    def test_matches_pwc_product(self, small_random_directed):
+        for seed in range(10):
+            d = small_random_directed(seed)
+            if d.num_edges == 0:
+                continue
+            a = pxy_dds(d)
+            b = pwc(d)
+            assert a.x * a.y == b.x * b.y == b.w_star
+
+    def test_two_approximation(self, small_random_directed):
+        for seed in range(8):
+            d = small_random_directed(seed)
+            if d.num_edges == 0:
+                continue
+            approx = pxy_dds(d)
+            exact = brute_force_dds(d)
+            assert approx.density * 2 + 1e-9 >= exact.density
+
+    def test_task_count_bounded_by_2_sqrt_m(self, small_random_directed):
+        d = small_random_directed(2)
+        result = pxy_dds(d)
+        assert result.iterations <= 2 * int(np.ceil(np.sqrt(d.num_edges))) + 2
+
+    def test_per_thread_memory_booked(self, fig3_graph):
+        rt = SimRuntime(4)
+        pxy_dds(fig3_graph, runtime=rt)
+        assert rt.metrics.peak_memory_bytes == 4 * rt.cost_model.graph_bytes(
+            fig3_graph.num_vertices, fig3_graph.num_edges
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            pxy_dds(DirectedGraph.empty(3))
+
+
+class TestExactSolvers:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_flow_matches_brute_force(self, seed):
+        d = gnm_random_directed(7, 18, seed=seed)
+        if d.num_edges == 0:
+            return
+        assert exact_dds_flow(d).density == pytest.approx(
+            brute_force_dds(d).density, rel=1e-6
+        )
+
+    def test_brute_force_on_fig3(self, fig3_graph):
+        # Optimum: S = {u1, u2, u3}, T = {v1..v4}: 9 edges / sqrt(3 * 4).
+        result = brute_force_dds(fig3_graph)
+        assert result.density == pytest.approx(9 / np.sqrt(12))
+        assert result.s.tolist() == [0, 1, 2]
+        assert result.t.tolist() == [4, 5, 6, 7]
+
+    def test_brute_force_size_cap(self):
+        d = gnm_random_directed(15, 40, seed=0)
+        with pytest.raises(ValueError):
+            brute_force_dds(d)
+
+    def test_flow_size_cap(self):
+        d = gnm_random_directed(80, 200, seed=0)
+        with pytest.raises(ValueError):
+            exact_dds_flow(d)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            brute_force_dds(DirectedGraph.empty(2))
+
+
+class TestExactCore:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_brute_force(self, seed):
+        from repro.algorithms.directed import exact_dds_core
+
+        d = gnm_random_directed(8, 22, seed=seed)
+        if d.num_edges == 0:
+            return
+        assert exact_dds_core(d).density == pytest.approx(
+            brute_force_dds(d).density, rel=1e-6
+        )
+
+    def test_seeded_by_pwc(self, fig3_graph):
+        from repro.algorithms.directed import exact_dds_core
+
+        result = exact_dds_core(fig3_graph)
+        assert result.extras["seed_density"] <= result.density + 1e-9
+        assert result.density == pytest.approx(9 / np.sqrt(12))
+
+    def test_pruning_shrinks_hub_graphs(self):
+        from repro.algorithms.directed import exact_dds_core
+        from repro.graph import planted_st_subgraph
+
+        graph, _, _ = planted_st_subgraph(
+            60, 180, s_size=6, t_size=8, block_probability=1.0,
+            max_weight=4.0, seed=5,
+        )
+        result = exact_dds_core(graph)
+        # The planted block dominates; the cores the flow sees are small.
+        assert result.extras["max_pruned_edges"] < graph.num_edges
+
+    def test_size_cap(self):
+        from repro.algorithms.directed import exact_dds_core
+
+        with pytest.raises(ValueError):
+            exact_dds_core(gnm_random_directed(100, 300, seed=0))
+
+    def test_empty_rejected(self):
+        from repro.algorithms.directed import exact_dds_core
+
+        with pytest.raises(EmptyGraphError):
+            exact_dds_core(DirectedGraph.empty(3))

@@ -1,0 +1,246 @@
+"""Tests for the undirected DSD baselines (Charikar, Local, PKC, PBU, PFW,
+Greedy++) against each other and the exact solvers."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.undirected import (
+    brute_force_uds,
+    charikar_peel,
+    exact_uds_goldberg,
+    greedypp_uds,
+    local_core_decomposition,
+    local_uds,
+    pbu_uds,
+    pfw_uds,
+    pkc_core_decomposition,
+    pkc_uds,
+)
+from repro.core import pkmc
+from repro.errors import EmptyGraphError
+from repro.graph import UndirectedGraph, gnm_random_undirected
+from repro.runtime import SimRuntime
+
+
+def _nx_core_numbers(graph):
+    nx_graph = nx.Graph(list(map(tuple, graph.edges().tolist())))
+    nx_graph.add_nodes_from(range(graph.num_vertices))
+    return nx.core_number(nx_graph)
+
+
+class TestCharikar:
+    def test_two_approximation(self, small_random_undirected):
+        for seed in range(10):
+            g = small_random_undirected(seed)
+            if g.num_edges == 0:
+                continue
+            approx = charikar_peel(g)
+            exact = brute_force_uds(g)
+            assert approx.density * 2 + 1e-9 >= exact.density
+
+    def test_finds_clique_exactly(self, triangle_graph):
+        result = charikar_peel(triangle_graph)
+        assert result.vertices.tolist() == [0, 1, 2]
+        assert result.density == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            charikar_peel(UndirectedGraph.empty(2))
+
+    def test_density_matches_reported_set(self, small_random_undirected):
+        from repro.algorithms.undirected.common import induced_density
+
+        for seed in range(6):
+            g = small_random_undirected(seed)
+            if g.num_edges == 0:
+                continue
+            result = charikar_peel(g)
+            assert induced_density(g, result.vertices) == pytest.approx(
+                result.density
+            )
+
+
+class TestLocal:
+    def test_core_numbers_match_networkx(self, small_random_undirected):
+        for seed in range(8):
+            g = small_random_undirected(seed, n=20, m=50)
+            core_numbers, _ = local_core_decomposition(g)
+            expected = _nx_core_numbers(g)
+            assert all(
+                core_numbers[v] == expected[v] for v in range(g.num_vertices)
+            )
+
+    def test_kstar_core_matches_pkmc(self, small_random_undirected):
+        for seed in range(8):
+            g = small_random_undirected(seed, n=20, m=50)
+            if g.num_edges == 0:
+                continue
+            a = local_uds(g)
+            b = pkmc(g)
+            assert a.k_star == b.k_star
+            assert a.vertices.tolist() == b.vertices.tolist()
+
+    def test_iterations_at_least_pkmc(self, fig2_graph):
+        assert local_uds(fig2_graph).iterations >= pkmc(fig2_graph).iterations
+
+    def test_fig2_needs_four_iterations(self, fig2_graph):
+        assert local_uds(fig2_graph).iterations == 4
+
+
+class TestPKC:
+    def test_core_numbers_match_networkx(self, small_random_undirected):
+        for seed in range(8):
+            g = small_random_undirected(seed, n=20, m=50)
+            core_numbers, _, _, _ = pkc_core_decomposition(g)
+            expected = _nx_core_numbers(g)
+            assert all(
+                core_numbers[v] == expected[v] for v in range(g.num_vertices)
+            )
+
+    def test_kstar_core_matches_pkmc(self, small_random_undirected):
+        for seed in range(8):
+            g = small_random_undirected(seed, n=20, m=50)
+            if g.num_edges == 0:
+                continue
+            a = pkc_uds(g)
+            b = pkmc(g)
+            assert a.k_star == b.k_star
+            assert sorted(a.vertices.tolist()) == b.vertices.tolist()
+
+    def test_rounds_exceed_kstar(self, small_random_undirected):
+        # Level-synchronous peeling needs at least one round per level.
+        g = small_random_undirected(3, n=30, m=90)
+        result = pkc_uds(g)
+        assert result.iterations >= result.k_star
+
+
+class TestPBU:
+    def test_approximation_bound(self, small_random_undirected):
+        # 2(1 + eps) guarantee with eps = 0.5 -> factor 3.
+        for seed in range(10):
+            g = small_random_undirected(seed)
+            if g.num_edges == 0:
+                continue
+            approx = pbu_uds(g, epsilon=0.5)
+            exact = brute_force_uds(g)
+            assert approx.density * 3 + 1e-9 >= exact.density
+
+    def test_logarithmic_passes(self):
+        g = gnm_random_undirected(2000, 8000, seed=0)
+        result = pbu_uds(g, epsilon=0.5)
+        assert result.iterations <= 40
+
+    def test_invalid_epsilon(self, triangle_graph):
+        with pytest.raises(ValueError):
+            pbu_uds(triangle_graph, epsilon=0.0)
+
+    def test_smaller_epsilon_at_least_as_good(self, small_random_undirected):
+        worse_total, better_total = 0.0, 0.0
+        for seed in range(8):
+            g = small_random_undirected(seed)
+            if g.num_edges == 0:
+                continue
+            worse_total += pbu_uds(g, epsilon=2.0).density
+            better_total += pbu_uds(g, epsilon=0.1).density
+        assert better_total + 1e-9 >= worse_total
+
+
+class TestPFW:
+    def test_near_optimal_on_small_graphs(self, small_random_undirected):
+        for seed in range(6):
+            g = small_random_undirected(seed)
+            if g.num_edges == 0:
+                continue
+            approx = pfw_uds(g, num_rounds=400)
+            exact = brute_force_uds(g)
+            assert approx.density >= exact.density / 1.2
+
+    def test_more_rounds_no_worse(self, small_random_undirected):
+        g = small_random_undirected(1, n=14, m=36)
+        short = pfw_uds(g, num_rounds=4)
+        long = pfw_uds(g, num_rounds=256)
+        assert long.density + 1e-9 >= short.density
+
+    def test_invalid_epsilon(self, triangle_graph):
+        with pytest.raises(ValueError):
+            pfw_uds(triangle_graph, epsilon=-1.0)
+
+    def test_round_count_reported(self, triangle_graph):
+        assert pfw_uds(triangle_graph, num_rounds=17).iterations == 17
+
+
+class TestGreedyPP:
+    def test_at_least_charikar(self, small_random_undirected):
+        for seed in range(8):
+            g = small_random_undirected(seed)
+            if g.num_edges == 0:
+                continue
+            assert (
+                greedypp_uds(g, num_rounds=6).density + 1e-9
+                >= charikar_peel(g).density
+            )
+
+    def test_single_round_equals_charikar_quality(self, small_random_undirected):
+        g = small_random_undirected(2)
+        assert greedypp_uds(g, num_rounds=1).density == pytest.approx(
+            charikar_peel(g).density
+        )
+
+    def test_invalid_rounds(self, triangle_graph):
+        with pytest.raises(ValueError):
+            greedypp_uds(triangle_graph, num_rounds=0)
+
+    def test_converges_toward_optimum(self):
+        # Boob et al.: iterating approaches the true densest subgraph.
+        g = gnm_random_undirected(14, 34, seed=5)
+        exact = brute_force_uds(g)
+        result = greedypp_uds(g, num_rounds=30)
+        assert result.density >= exact.density / 1.1
+
+
+class TestExactSolvers:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_goldberg_matches_brute_force(self, seed):
+        g = gnm_random_undirected(10, 22, seed=seed)
+        if g.num_edges == 0:
+            return
+        assert exact_uds_goldberg(g).density == pytest.approx(
+            brute_force_uds(g).density
+        )
+
+    def test_goldberg_on_clique_plus_tail(self, fig2_graph):
+        result = exact_uds_goldberg(fig2_graph)
+        assert result.density == pytest.approx(1.5)
+        assert result.vertices.tolist() == [0, 1, 2, 3]
+
+    def test_brute_force_size_cap(self):
+        g = gnm_random_undirected(20, 40, seed=0)
+        with pytest.raises(ValueError):
+            brute_force_uds(g)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            exact_uds_goldberg(UndirectedGraph.empty(3))
+
+
+class TestSimulatedCostShape:
+    def test_pbu_slower_than_pkmc_at_32_threads(self):
+        # Paper Exp-1: PKMC at least 5x faster than PBU.
+        from repro.datasets import load_undirected
+
+        g = load_undirected("PT")
+        pkmc_time = pkmc(g, runtime=SimRuntime(32)).simulated_seconds
+        pbu_time = pbu_uds(g, runtime=SimRuntime(32)).simulated_seconds
+        assert pbu_time > 5 * pkmc_time
+
+    def test_pkc_flattens_at_high_threads(self):
+        from repro.datasets import load_undirected
+
+        g = load_undirected("PT")
+        t32 = pkc_uds(g, runtime=SimRuntime(32)).simulated_seconds
+        t64 = pkc_uds(g, runtime=SimRuntime(64)).simulated_seconds
+        assert t64 > 0.8 * t32  # no meaningful speedup from 32 to 64

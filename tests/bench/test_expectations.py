@@ -1,0 +1,70 @@
+"""Tests for the paper-claim expectation registry."""
+
+import pytest
+
+from repro.bench import EXPECTATIONS, check_result, expectations_for
+from repro.bench.reporting import ExperimentResult
+
+
+class TestRegistry:
+    def test_every_claim_names_an_experiment(self):
+        experiments = {e.experiment for e in EXPECTATIONS}
+        assert experiments <= {f"exp{i}" for i in range(1, 9)}
+
+    def test_claims_are_descriptive(self):
+        for expectation in EXPECTATIONS:
+            assert len(expectation.claim) > 10
+
+    def test_expectations_for_filters(self):
+        exp5 = expectations_for("exp5")
+        assert len(exp5) == 3
+        assert all(e.experiment == "exp5" for e in exp5)
+
+    def test_unknown_experiment_has_none(self):
+        assert expectations_for("exp99") == []
+
+
+class TestCheckResult:
+    def _exp2(self, pkmc, local, pkc):
+        return ExperimentResult(
+            experiment="Exp-2",
+            paper_artifact="Table 6",
+            description="",
+            headers=["algorithm", "PT"],
+            rows=[["PKC", pkc], ["Local", local], ["PKMC", pkmc]],
+        )
+
+    def test_pass_on_paper_shape(self):
+        outcomes = check_result("exp2", self._exp2(4, 50, 300))
+        assert all(passed for _, passed in outcomes)
+
+    def test_fail_on_wrong_iteration_count(self):
+        outcomes = check_result("exp2", self._exp2(40, 50, 300))
+        failed = [e.claim for e, passed in outcomes if not passed]
+        assert any("3-5" in claim for claim in failed)
+
+    def test_fail_on_wrong_ordering(self):
+        outcomes = check_result("exp2", self._exp2(4, 300, 50))
+        failed = [e.claim for e, passed in outcomes if not passed]
+        assert any("PKMC < Local < PKC" in claim for claim in failed)
+
+    def test_malformed_result_fails_gracefully(self):
+        broken = ExperimentResult(
+            experiment="Exp-2",
+            paper_artifact="Table 6",
+            description="",
+            headers=["algorithm"],
+            rows=[],
+        )
+        outcomes = check_result("exp2", broken)
+        assert outcomes  # evaluated, not raised
+        # An empty table vacuously satisfies per-dataset claims: the point
+        # of this test is only that no exception escapes.
+
+    def test_live_exp6_passes(self):
+        from repro.bench import run_exp6
+
+        result = run_exp6(datasets=("AM", "AR", "BA"))
+        outcomes = check_result("exp6", result)
+        assert outcomes
+        assert all(passed for _, passed in outcomes)

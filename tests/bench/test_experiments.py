@@ -1,0 +1,201 @@
+"""Quick-variant runs of the eight experiments with shape assertions.
+
+Each test runs an experiment on a reduced dataset/thread grid (keeping the
+suite fast) and asserts the paper's qualitative claims hold on it.  The
+full-grid artifacts are produced by the ``benchmarks/`` suite.
+"""
+
+import pytest
+
+from repro.bench import (
+    ALL_EXPERIMENTS,
+    run_exp1,
+    run_exp2,
+    run_exp3,
+    run_exp4,
+    run_exp5,
+    run_exp6,
+    run_exp7,
+    run_exp8,
+)
+
+
+def _as_float(cell):
+    return float(cell)
+
+
+class TestExp1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_exp1(datasets=("PT", "EW"))
+
+    def test_pkmc_fastest(self, result):
+        for abbr in ("PT", "EW"):
+            pkmc_time = _as_float(result.cell(abbr, "PKMC"))
+            for other in ("PFW", "PBU", "Local", "PKC"):
+                assert pkmc_time < _as_float(result.cell(abbr, other))
+
+    def test_pbu_gap_at_least_5x(self, result):
+        for abbr in ("PT", "EW"):
+            ratio = _as_float(result.cell(abbr, "PBU")) / _as_float(
+                result.cell(abbr, "PKMC")
+            )
+            assert 5 <= ratio <= 25
+
+    def test_pfw_orders_slower(self, result):
+        for abbr in ("PT", "EW"):
+            ratio = _as_float(result.cell(abbr, "PFW")) / _as_float(
+                result.cell(abbr, "PKMC")
+            )
+            assert ratio > 50
+
+
+class TestExp2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_exp2(datasets=("PT", "EW"))
+
+    def test_pkmc_needs_3_to_5(self, result):
+        for abbr in ("PT", "EW"):
+            assert 3 <= result.cell("PKMC", abbr) <= 5
+
+    def test_ordering(self, result):
+        for abbr in ("PT", "EW"):
+            assert (
+                result.cell("PKMC", abbr)
+                < result.cell("Local", abbr)
+                < result.cell("PKC", abbr)
+            )
+
+
+class TestExp3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_exp3(datasets=("PT",), threads=(1, 8, 64))
+
+    def _series(self, result, algo):
+        return {
+            row[1]: _as_float(row[result.headers.index(algo)])
+            for row in result.rows
+        }
+
+    def test_pkmc_scales(self, result):
+        series = self._series(result, "PKMC")
+        assert series[1] / series[8] > 4  # strong scaling to p=8
+
+    def test_pkc_flattens(self, result):
+        pkc = self._series(result, "PKC")
+        pkmc = self._series(result, "PKMC")
+        # PKC's 1 -> 64 speedup must trail PKMC's badly.
+        assert pkc[1] / pkc[64] < 0.25 * (pkmc[1] / pkmc[64])
+
+
+class TestExp4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_exp4(
+            datasets=("SK",), fractions=(0.2, 0.6, 1.0),
+            algorithms=("PBU", "PKC", "PKMC"),
+        )
+
+    def test_pkmc_fastest_at_every_size(self, result):
+        for row in result.rows:
+            values = {
+                algo: _as_float(row[result.headers.index(algo)])
+                for algo in ("PBU", "PKC", "PKMC")
+            }
+            assert values["PKMC"] == min(values.values())
+
+    def test_pbu_grows_with_edges(self, result):
+        series = [
+            _as_float(row[result.headers.index("PBU")]) for row in result.rows
+        ]
+        assert series == sorted(series)
+
+
+class TestExp5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_exp5(datasets=("AM", "AR", "BA"))
+
+    def test_quadratic_baselines_dnf(self, result):
+        for abbr in ("AM", "AR", "BA"):
+            assert result.cell(abbr, "PBS") == "DNF"
+            assert result.cell(abbr, "PFKS") == "DNF"
+
+    def test_pfw_finishes_only_on_ar_ba(self, result):
+        assert result.cell("AM", "PFW") == "DNF"
+        assert result.cell("AR", "PFW") != "DNF"
+        assert result.cell("BA", "PFW") != "DNF"
+
+    def test_pwc_beats_pxy(self, result):
+        for abbr in ("AM", "AR", "BA"):
+            assert _as_float(result.cell(abbr, "PWC")) < _as_float(
+                result.cell(abbr, "PXY")
+            )
+
+
+class TestExp6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_exp6(datasets=("AM", "BA"))
+
+    def test_stage_sizes_monotone(self, result):
+        for abbr in ("AM", "BA"):
+            assert (
+                result.cell("PXY", abbr)
+                >= result.cell("PWC_1", abbr)
+                >= result.cell("PWC_w*", abbr)
+                >= result.cell("PWC_D*", abbr)
+            )
+
+    def test_am_immediate(self, result):
+        # Hub-dominated AM: the first level is already the answer.
+        assert result.cell("PWC_1", "AM") == result.cell("PWC_w*", "AM")
+
+    def test_first_prune_shrinks_an_order(self, result):
+        for abbr in ("AM", "BA"):
+            assert result.cell("PXY", abbr) > 10 * result.cell("PWC_1", abbr)
+
+
+class TestExp7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_exp7(datasets=("TW",), threads=(4, 16))
+
+    def test_tw_oom_beyond_4_threads(self, result):
+        by_p = {row[1]: row for row in result.rows}
+        pxy_column = result.headers.index("PXY")
+        pbd_column = result.headers.index("PBD")
+        assert by_p[4][pxy_column] != "OOM"
+        assert by_p[16][pxy_column] == "OOM"
+        assert by_p[16][pbd_column] == "OOM"
+
+    def test_pwc_unaffected_by_memory(self, result):
+        pwc_column = result.headers.index("PWC")
+        for row in result.rows:
+            assert row[pwc_column] not in ("OOM", "DNF")
+
+
+class TestExp8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_exp8(datasets=("WE",), fractions=(0.2, 1.0))
+
+    def test_pwc_fastest_everywhere(self, result):
+        for row in result.rows:
+            values = {
+                algo: _as_float(row[result.headers.index(algo)])
+                for algo in ("PBD", "PXY", "PWC")
+            }
+            assert values["PWC"] == min(values.values())
+
+    def test_growth_with_edges(self, result):
+        pwc_column = result.headers.index("PWC")
+        series = [_as_float(row[pwc_column]) for row in result.rows]
+        assert series[0] < series[-1]
+
+
+class TestRegistry:
+    def test_all_eight_registered(self):
+        assert sorted(ALL_EXPERIMENTS) == [f"exp{i}" for i in range(1, 9)]

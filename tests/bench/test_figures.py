@@ -1,0 +1,89 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.bench import chart_for, log_bar_chart, scaling_chart
+from repro.bench.reporting import ExperimentResult
+
+
+class TestLogBarChart:
+    def test_basic_render(self):
+        chart = log_bar_chart(
+            "demo", ["D1"], {"A": [0.001], "B": [1.0]}
+        )
+        assert "demo" in chart
+        assert "[D1]" in chart
+        lines = {l.split("|")[0].strip(): l for l in chart.splitlines() if "|" in l}
+        # B (1.0) gets a longer bar than A (0.001) on the log axis.
+        assert lines["B"].count("#") > lines["A"].count("#")
+
+    def test_dnf_full_bar(self):
+        chart = log_bar_chart("demo", ["D1"], {"A": [0.5], "B": ["DNF"]})
+        dnf_line = next(l for l in chart.splitlines() if "DNF" in l)
+        assert dnf_line.count("#") == 40  # full bar
+
+    def test_no_numeric_values(self):
+        chart = log_bar_chart("demo", ["D1"], {"A": ["DNF"]})
+        assert "no finished runs" in chart
+
+    def test_multiple_groups(self):
+        chart = log_bar_chart(
+            "demo", ["D1", "D2"], {"A": [0.1, 0.2], "B": [0.3, 0.4]}
+        )
+        assert "[D1]" in chart and "[D2]" in chart
+
+
+class TestScalingChart:
+    def test_positions_monotone(self):
+        chart = scaling_chart(
+            "demo", [1, 2, 4], {"A": [1.0, 0.1, 0.01]}
+        )
+        positions = [
+            line.index("*") for line in chart.splitlines() if "*" in line
+        ]
+        assert positions == sorted(positions, reverse=True)
+
+    def test_oom_cell_rendered_as_text(self):
+        chart = scaling_chart("demo", [1, 2], {"A": [1.0, "OOM"]})
+        assert "OOM" in chart
+
+    def test_x_labels_present(self):
+        chart = scaling_chart("demo", [8, 16], {"A": [1.0, 0.5]}, x_label="p")
+        assert "p=8" in chart and "p=16" in chart
+
+
+class TestChartFor:
+    def _result(self, experiment, headers, rows):
+        return ExperimentResult(
+            experiment=experiment,
+            paper_artifact="Fig. X",
+            description="",
+            headers=headers,
+            rows=rows,
+        )
+
+    def test_tables_return_none(self):
+        result = self._result("Exp-2", ["algorithm", "PT"], [["PKMC", 3]])
+        assert chart_for(result) is None
+        result = self._result("Exp-6", ["stage", "AM"], [["PXY", 1]])
+        assert chart_for(result) is None
+
+    def test_exp1_grouped_bars(self):
+        result = self._result(
+            "Exp-1",
+            ["dataset", "PKMC", "PBU", "PBU/PKMC"],
+            [["PT", "0.001", "0.01", "10x"]],
+        )
+        chart = chart_for(result)
+        assert "[PT]" in chart
+        assert "PBU/PKMC" not in chart  # ratio columns skipped
+
+    def test_exp7_per_dataset_curves(self):
+        result = self._result(
+            "Exp-7",
+            ["dataset", "p", "PWC"],
+            [["TW", 1, "0.01"], ["TW", 4, "0.003"], ["AR", 1, "0.002"]],
+        )
+        chart = chart_for(result)
+        assert "TW" in chart and "AR" in chart
+        assert "p=1" in chart

@@ -1,0 +1,68 @@
+"""Tests for the experiment runner and budgets."""
+
+import pytest
+
+from repro.algorithms.directed import pbs_dds, pxy_dds
+from repro.bench import (
+    RunRecord,
+    format_status,
+    paper_graph_copy_bytes,
+    run_cell,
+    scaled_memory_limit,
+)
+from repro.core import pkmc
+from repro.datasets import get_spec
+from repro.graph import gnm_random_directed, gnm_random_undirected
+
+
+class TestRunCell:
+    def test_ok_record(self):
+        g = gnm_random_undirected(50, 150, seed=0)
+        record = run_cell("toy", "PKMC", pkmc, g, threads=4)
+        assert record.ok
+        assert record.status == "ok"
+        assert record.simulated_seconds > 0
+        assert record.wall_seconds >= 0
+        assert record.density > 0
+
+    def test_dnf_record(self):
+        d = gnm_random_directed(2000, 6000, seed=0)
+        record = run_cell(
+            "toy", "PBS", pbs_dds, d, threads=4, time_limit=1e-3
+        )
+        assert record.status == "DNF"
+        assert not record.ok
+        assert record.simulated_seconds == 1e-3
+
+    def test_oom_record(self):
+        d = gnm_random_directed(200, 600, seed=0)
+        record = run_cell(
+            "toy", "PXY", pxy_dds, d, threads=64, memory_limit=100.0
+        )
+        assert record.status == "OOM"
+
+    def test_format_status(self):
+        ok = RunRecord("d", "a", 1, "ok", simulated_seconds=0.12345, wall_seconds=0)
+        assert format_status(ok) == "0.1235"  # 4 significant digits
+        dnf = RunRecord("d", "a", 1, "DNF", simulated_seconds=1, wall_seconds=0)
+        assert format_status(dnf) == "DNF"
+
+
+class TestMemoryScaling:
+    def test_twitter_needs_64bit_edge_ids(self):
+        tw = paper_graph_copy_bytes(get_spec("TW"))
+        we = paper_graph_copy_bytes(get_spec("WE"))
+        # TW has ~4.5x WE's edges but ~9x the bytes (64-bit indices).
+        assert tw / we > 7
+
+    def test_oom_thresholds_match_paper(self):
+        # p copies of the real graph vs the 255 GB server.
+        tw = paper_graph_copy_bytes(get_spec("TW"))
+        we = paper_graph_copy_bytes(get_spec("WE"))
+        assert 4 * tw < 255e9 < 8 * tw  # TW dies at p = 8 (paper: p > 4)
+        assert 64 * we < 255e9          # WE runs even at p = 64
+
+    def test_scaled_limit_proportional(self):
+        spec = get_spec("TW")
+        limit = scaled_memory_limit(spec)
+        assert 0 < limit < 255e9

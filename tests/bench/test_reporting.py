@@ -1,0 +1,52 @@
+"""Tests for the table renderer and experiment-result container."""
+
+import pytest
+
+from repro.bench import ExperimentResult, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bbbb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_single_column(self):
+        text = render_table(["only"], [["v"]])
+        assert "only" in text and "v" in text
+
+    def test_no_rows(self):
+        text = render_table(["h1", "h2"], [])
+        assert "h1" in text
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment="Exp-X",
+            paper_artifact="Table 99",
+            description="demo",
+            headers=["dataset", "PKMC"],
+            rows=[["PT", 1.5], ["EW", 2.5]],
+            notes=["a note"],
+        )
+
+    def test_to_text_contains_everything(self):
+        text = self._result().to_text()
+        assert "Exp-X" in text
+        assert "Table 99" in text
+        assert "PT" in text
+        assert "note: a note" in text
+
+    def test_cell_lookup(self):
+        assert self._result().cell("EW", "PKMC") == 2.5
+
+    def test_cell_missing_key(self):
+        with pytest.raises(KeyError):
+            self._result().cell("ZZ", "PKMC")
+
+    def test_cell_missing_column(self):
+        with pytest.raises(ValueError):
+            self._result().cell("PT", "nope")

@@ -1,0 +1,78 @@
+"""Tests for JSON persistence of experiment artifacts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ExperimentResult,
+    RunRecord,
+    load_json,
+    result_from_dict,
+    result_to_dict,
+    save_json,
+)
+from repro.bench.serialization import record_to_dict
+
+
+@pytest.fixture
+def sample_result():
+    record = RunRecord(
+        dataset="PT",
+        algorithm="PKMC",
+        threads=32,
+        status="ok",
+        simulated_seconds=0.001,
+        wall_seconds=0.2,
+        iterations=4,
+        density=27.0,
+        extras={"history": [(4, 1)], "array": np.arange(3)},
+    )
+    return ExperimentResult(
+        experiment="Exp-1",
+        paper_artifact="Fig. 5",
+        description="demo",
+        headers=["dataset", "PKMC"],
+        rows=[["PT", "0.001"]],
+        notes=["a note"],
+        records=[record],
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self, sample_result):
+        rebuilt = result_from_dict(result_to_dict(sample_result))
+        assert rebuilt.experiment == sample_result.experiment
+        assert rebuilt.rows == sample_result.rows
+        assert rebuilt.notes == sample_result.notes
+        assert rebuilt.records[0].dataset == "PT"
+        assert rebuilt.records[0].simulated_seconds == 0.001
+
+    def test_file_round_trip(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_json(sample_result, path)
+        loaded = load_json(path)
+        assert loaded.cell("PT", "PKMC") == "0.001"
+        assert loaded.records[0].iterations == 4
+
+    def test_json_is_valid(self, sample_result, tmp_path):
+        path = tmp_path / "result.json"
+        save_json(sample_result, path)
+        data = json.loads(path.read_text())
+        assert data["paper_artifact"] == "Fig. 5"
+
+    def test_unserialisable_extras_dropped(self, sample_result):
+        flat = record_to_dict(sample_result.records[0])
+        assert "array" not in flat["extras"]  # ndarray silently dropped
+        assert flat["extras"]["history"] == [(4, 1)]
+
+    def test_real_experiment_round_trips(self, tmp_path):
+        from repro.bench import run_exp6
+
+        result = run_exp6(datasets=("AM",))
+        path = tmp_path / "exp6.json"
+        save_json(result, path)
+        loaded = load_json(path)
+        assert loaded.cell("PWC_1", "AM") == result.cell("PWC_1", "AM")
+        assert len(loaded.records) == len(result.records)

@@ -1,0 +1,104 @@
+"""Shared fixtures: the paper's worked example graphs and random factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import DirectedGraph, UndirectedGraph
+
+
+@pytest.fixture
+def fig2_graph() -> UndirectedGraph:
+    """The paper's Fig. 2 walkthrough graph.
+
+    A K4 on vertices {0, 1, 2, 3} (v1..v4) plus the tail 3-4-5-6-7
+    (v4-v5-v6-v7-v8).  k* = 3; the k*-core is the K4; Local needs 4
+    h-index sweeps, PKMC stops after 2 (paper Example 1).
+    """
+    return UndirectedGraph.from_edges(
+        8,
+        [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+         (3, 4), (4, 5), (5, 6), (6, 7)],
+    )
+
+
+@pytest.fixture
+def fig3_graph() -> DirectedGraph:
+    """The paper's Fig. 3 / Table 3 directed graph.
+
+    ids: u1..u4 = 0..3, v1..v5 = 4..8.  Edge weights and induce-numbers
+    are spelled out in the paper's Example 2 and Table 3; w* = 6 and the
+    w*-induced subgraph is {u1, u2} x {v1, v2, v3}.
+    """
+    return DirectedGraph.from_edges(
+        9,
+        [(0, 4), (0, 5), (0, 6),
+         (1, 4), (1, 5), (1, 6), (1, 7), (1, 8),
+         (2, 6), (2, 7),
+         (3, 7)],
+    )
+
+
+# Expected induce-numbers for fig3_graph keyed by (u, v), from Table 3.
+FIG3_INDUCE_NUMBERS = {
+    (3, 7): 3,
+    (2, 6): 4, (2, 7): 4,
+    (1, 7): 5, (1, 8): 5,
+    (0, 4): 6, (0, 5): 6, (0, 6): 6,
+    (1, 4): 6, (1, 5): 6, (1, 6): 6,
+}
+
+
+@pytest.fixture
+def fig4_graph() -> DirectedGraph:
+    """A graph with the paper's Fig. 4 behaviour.
+
+    w* = 12 and the maximum cn-pair is [4, 3]: S = {u1, u2, u3},
+    T = {v1..v4}, while the weight-12 edges with degree pair [6, 2]
+    (through v6/v7) do NOT form a [6, 2]-core.
+    ids: u1..u4 = 0..3, v1..v7 = 4..10.
+    """
+    return DirectedGraph.from_edges(
+        11,
+        [(0, 4), (0, 5), (0, 6), (0, 7),
+         (1, 4), (1, 5), (1, 6), (1, 7), (1, 8), (1, 9),
+         (2, 4), (2, 5), (2, 6), (2, 7), (2, 8), (2, 10),
+         (3, 8), (3, 9), (3, 10)],
+    )
+
+
+@pytest.fixture
+def triangle_graph() -> UndirectedGraph:
+    """K3: the smallest graph whose densest subgraph is itself (rho = 1)."""
+    return UndirectedGraph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def small_random_undirected():
+    """Factory: seeded random undirected graphs small enough to brute force."""
+    from repro.graph import gnm_random_undirected
+
+    def build(seed: int, n: int = 12, m: int = 26) -> UndirectedGraph:
+        return gnm_random_undirected(n, m, seed=seed)
+
+    return build
+
+
+@pytest.fixture
+def small_random_directed():
+    """Factory: seeded random directed graphs small enough to brute force."""
+    from repro.graph import gnm_random_directed
+
+    def build(seed: int, n: int = 9, m: int = 26) -> DirectedGraph:
+        return gnm_random_directed(n, m, seed=seed)
+
+    return build
+
+
+def assert_is_subgraph_vertices(graph: UndirectedGraph, vertices: np.ndarray) -> None:
+    """All returned vertex ids must be valid and unique."""
+    assert vertices.size == np.unique(vertices).size
+    if vertices.size:
+        assert vertices.min() >= 0
+        assert vertices.max() < graph.num_vertices

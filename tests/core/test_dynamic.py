@@ -1,0 +1,149 @@
+"""Tests for the dynamic k*-core maintainer."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pkmc
+from repro.core.dynamic import DynamicKStarCore
+from repro.errors import EmptyGraphError, GraphError
+from repro.graph import gnm_random_undirected
+
+
+def _nx_core_numbers(edges, n):
+    g = nx.Graph(edges)
+    g.add_nodes_from(range(n))
+    return nx.core_number(g)
+
+
+class TestMutation:
+    def test_insert_and_duplicate(self):
+        tracker = DynamicKStarCore(4)
+        assert tracker.insert_edge(0, 1)
+        assert not tracker.insert_edge(1, 0)  # same undirected edge
+        assert tracker.num_edges == 1
+
+    def test_delete(self):
+        tracker = DynamicKStarCore(4)
+        tracker.insert_edge(0, 1)
+        assert tracker.delete_edge(0, 1)
+        assert not tracker.delete_edge(0, 1)
+        assert tracker.num_edges == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            DynamicKStarCore(3).insert_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphError):
+            DynamicKStarCore(3).insert_edge(0, 5)
+
+    def test_bulk_insert_counts_new_only(self):
+        tracker = DynamicKStarCore(5)
+        added = tracker.insert_edges([(0, 1), (1, 2), (1, 0)])
+        assert added == 2
+
+
+class TestCoreMaintenance:
+    def test_triangle_build_up(self):
+        tracker = DynamicKStarCore(3)
+        tracker.insert_edge(0, 1)
+        assert tracker.k_star() == 1
+        tracker.insert_edge(1, 2)
+        assert tracker.k_star() == 1
+        tracker.insert_edge(0, 2)
+        assert tracker.k_star() == 2
+
+    def test_deletion_drops_core(self):
+        tracker = DynamicKStarCore(3)
+        tracker.insert_edges([(0, 1), (1, 2), (0, 2)])
+        assert tracker.k_star() == 2
+        tracker.delete_edge(0, 1)
+        assert tracker.k_star() == 1
+
+    def test_matches_static_pkmc(self):
+        g = gnm_random_undirected(25, 60, seed=0)
+        tracker = DynamicKStarCore(25)
+        tracker.insert_edges(g.edges())
+        static = pkmc(g)
+        result = tracker.densest_subgraph()
+        assert result.k_star == static.k_star
+        assert result.vertices.tolist() == static.vertices.tolist()
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_incremental_matches_networkx(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 15
+        tracker = DynamicKStarCore(n)
+        current: set[tuple[int, int]] = set()
+        for _ in range(4):  # four mixed batches
+            for _ in range(8):
+                u, v = rng.integers(0, n, size=2)
+                if u == v:
+                    continue
+                key = (min(u, v), max(u, v))
+                if key in current and rng.random() < 0.5:
+                    tracker.delete_edge(int(u), int(v))
+                    current.discard(key)
+                else:
+                    tracker.insert_edge(int(u), int(v))
+                    current.add(key)
+            if not current:
+                continue
+            expected = _nx_core_numbers(sorted(current), n)
+            got = tracker.core_numbers()
+            assert all(got[v] == expected[v] for v in range(n))
+
+    def test_warm_start_never_worse_than_cold(self):
+        # A warm start cannot slow convergence down (it is a pointwise
+        # tighter upper bound than the degrees) — but, as the module
+        # docstring explains, it cannot beat the erosion depth either.
+        g = gnm_random_undirected(400, 1600, seed=2)
+        tracker = DynamicKStarCore(400)
+        tracker.insert_edges(g.edges())
+        tracker.core_numbers()
+        sweeps_initial = tracker.total_sweeps
+        rng = np.random.default_rng(3)
+        while True:
+            u, v = rng.integers(0, 400, size=2)
+            if u != v and tracker.insert_edge(int(u), int(v)):
+                break
+        tracker.core_numbers()
+        assert tracker.total_sweeps - sweeps_initial <= sweeps_initial + 1
+
+    def test_batching_amortises_refreshes(self):
+        # The real win: 60 mutations + 1 query = 1 refresh, not 60.
+        g = gnm_random_undirected(300, 900, seed=4)
+        edges = g.edges()
+        eager = DynamicKStarCore(300)
+        eager.insert_edges(edges[:840])
+        eager.core_numbers()
+        for u, v in edges[840:]:
+            eager.insert_edge(int(u), int(v))
+            eager.core_numbers()          # query after every edge
+        lazy = DynamicKStarCore(300)
+        lazy.insert_edges(edges[:840])
+        lazy.core_numbers()
+        lazy.insert_edges(edges[840:])    # one batch, one refresh
+        lazy.core_numbers()
+        assert np.array_equal(lazy.core_numbers(), eager.core_numbers())
+        assert lazy.total_sweeps < eager.total_sweeps / 3
+
+    def test_empty_densest_rejected(self):
+        tracker = DynamicKStarCore(3)
+        with pytest.raises(EmptyGraphError):
+            tracker.densest_subgraph()
+
+    def test_lazy_refresh(self):
+        tracker = DynamicKStarCore(4)
+        tracker.insert_edge(0, 1)
+        sweeps_before = tracker.total_sweeps
+        tracker.insert_edge(1, 2)
+        tracker.insert_edge(2, 3)
+        # No queries yet: no sweeps spent.
+        assert tracker.total_sweeps == sweeps_before
+        tracker.k_star()
+        assert tracker.total_sweeps > sweeps_before

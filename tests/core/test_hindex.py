@@ -1,0 +1,127 @@
+"""Unit and property tests for the h-index kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    degree_descending_order,
+    h_index,
+    inplace_sweep,
+    synchronous_sweep,
+)
+from repro.graph import UndirectedGraph, gnm_random_undirected
+
+
+class TestScalarHIndex:
+    def test_known_values(self):
+        assert h_index(np.array([4, 3, 3, 1])) == 3
+        assert h_index(np.array([1, 1, 1])) == 1
+        assert h_index(np.array([5])) == 1
+        assert h_index(np.array([0, 0])) == 0
+
+    def test_empty(self):
+        assert h_index(np.array([], dtype=np.int64)) == 0
+
+    def test_hirsch_paper_example(self):
+        # Citations [10, 8, 5, 4, 3] -> h = 4.
+        assert h_index(np.array([10, 8, 5, 4, 3])) == 4
+
+    @given(st.lists(st.integers(0, 50), max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_definition(self, values):
+        arr = np.array(values, dtype=np.int64)
+        h = h_index(arr)
+        assert (arr >= h).sum() >= h
+        assert (arr >= h + 1).sum() < h + 1
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_by_size_and_max(self, values):
+        arr = np.array(values)
+        assert h_index(arr) <= min(arr.size, arr.max(initial=0))
+
+
+class TestSweeps:
+    def test_synchronous_matches_scalar(self, fig2_graph):
+        h = fig2_graph.degrees().astype(np.int64)
+        swept = synchronous_sweep(fig2_graph, h)
+        expected = np.array(
+            [h_index(h[fig2_graph.neighbors(v)]) for v in range(8)]
+        )
+        assert np.array_equal(swept, expected)
+
+    def test_fig2_first_sweep(self, fig2_graph):
+        # Paper Example 1: after the first iteration h(v7) drops 2 -> 1.
+        h0 = fig2_graph.degrees().astype(np.int64)
+        h1 = synchronous_sweep(fig2_graph, h0)
+        assert h1.tolist() == [3, 3, 3, 3, 2, 2, 1, 1]
+
+    def test_monotone_non_increasing(self):
+        g = gnm_random_undirected(30, 80, seed=0)
+        h = g.degrees().astype(np.int64)
+        for _ in range(10):
+            new_h = synchronous_sweep(g, h)
+            assert np.all(new_h <= h)
+            h = new_h
+
+    def test_fixed_point_is_core_numbers(self):
+        import networkx as nx
+
+        g = gnm_random_undirected(25, 60, seed=1)
+        h = g.degrees().astype(np.int64)
+        for _ in range(g.num_vertices + 1):
+            new_h = synchronous_sweep(g, h)
+            if np.array_equal(new_h, h):
+                break
+            h = new_h
+        nx_graph = nx.Graph(list(map(tuple, g.edges().tolist())))
+        nx_graph.add_nodes_from(range(g.num_vertices))
+        expected = nx.core_number(nx_graph)
+        assert all(h[v] == expected[v] for v in range(g.num_vertices))
+
+    def test_inplace_sweep_same_fixed_point(self):
+        g = gnm_random_undirected(25, 60, seed=2)
+        order = degree_descending_order(g)
+
+        h_sync = g.degrees().astype(np.int64)
+        for _ in range(g.num_vertices + 1):
+            new_h = synchronous_sweep(g, h_sync)
+            if np.array_equal(new_h, h_sync):
+                break
+            h_sync = new_h
+
+        h_gs = g.degrees().astype(np.int64)
+        for _ in range(g.num_vertices + 1):
+            before = h_gs.copy()
+            inplace_sweep(g, h_gs, order)
+            if np.array_equal(before, h_gs):
+                break
+        assert np.array_equal(h_sync, h_gs)
+
+    def test_inplace_converges_no_slower(self):
+        g = gnm_random_undirected(30, 90, seed=3)
+        order = degree_descending_order(g)
+
+        def sweeps_to_converge(step):
+            h = g.degrees().astype(np.int64)
+            for iteration in range(1, g.num_vertices + 2):
+                before = h.copy()
+                h = step(h)
+                if np.array_equal(before, h):
+                    return iteration
+            return g.num_vertices + 2
+
+        sync = sweeps_to_converge(lambda h: synchronous_sweep(g, h))
+        gauss = sweeps_to_converge(lambda h: inplace_sweep(g, h, order))
+        assert gauss <= sync
+
+    def test_degree_descending_order(self, fig2_graph):
+        order = degree_descending_order(fig2_graph)
+        degrees = fig2_graph.degrees()
+        assert list(degrees[order]) == sorted(degrees, reverse=True)
+
+    def test_empty_graph_sweep(self):
+        g = UndirectedGraph.empty(0)
+        assert synchronous_sweep(g, np.array([], dtype=np.int64)).size == 0

@@ -1,0 +1,150 @@
+"""Tests for PKMC (Algorithm 2), including the paper's Example 1."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pkmc
+from repro.errors import EmptyGraphError
+from repro.graph import (
+    UndirectedGraph,
+    chung_lu_undirected,
+    gnm_random_undirected,
+    planted_dense_subgraph,
+)
+from repro.runtime import SimRuntime
+
+
+class TestPaperExample1:
+    def test_kstar_core_found(self, fig2_graph):
+        result = pkmc(fig2_graph)
+        assert result.k_star == 3
+        assert result.vertices.tolist() == [0, 1, 2, 3]
+        assert result.density == pytest.approx(6 / 4)
+
+    def test_stops_after_two_iterations(self, fig2_graph):
+        result = pkmc(fig2_graph)
+        assert result.iterations == 2
+        assert result.extras["early_stop_fired"]
+
+    def test_history_matches_walkthrough(self, fig2_graph):
+        # (h_max, count): initial (4, 1), then (3, 4) twice -> stop.
+        result = pkmc(fig2_graph)
+        assert result.extras["history"] == [(4, 1), (3, 4), (3, 4)]
+
+    def test_local_without_early_stop_needs_four(self, fig2_graph):
+        result = pkmc(fig2_graph, early_stop=False)
+        assert result.iterations == 4
+        assert result.k_star == 3
+        assert result.vertices.tolist() == [0, 1, 2, 3]
+
+
+class TestCorrectness:
+    def test_matches_networkx_max_core(self, small_random_undirected):
+        for seed in range(10):
+            g = small_random_undirected(seed, n=20, m=50)
+            if g.num_edges == 0:
+                continue
+            result = pkmc(g)
+            nx_graph = nx.Graph(list(map(tuple, g.edges().tolist())))
+            nx_graph.add_nodes_from(range(g.num_vertices))
+            core_numbers = nx.core_number(nx_graph)
+            k_star = max(core_numbers.values())
+            expected = sorted(v for v, c in core_numbers.items() if c == k_star)
+            assert result.k_star == k_star
+            assert result.vertices.tolist() == expected
+
+    def test_clique_is_its_own_core(self):
+        g = UndirectedGraph.from_edges(
+            5, [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        )
+        result = pkmc(g)
+        assert result.k_star == 4
+        assert result.num_vertices == 5
+        assert result.iterations == 1  # stable immediately
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            pkmc(UndirectedGraph.empty(3))
+
+    def test_single_edge(self):
+        result = pkmc(UndirectedGraph.from_edges(2, [(0, 1)]))
+        assert result.k_star == 1
+        assert result.density == pytest.approx(0.5)
+
+    def test_planted_clique_recovered(self):
+        graph, core = planted_dense_subgraph(
+            800, 3000, core_size=25, core_probability=1.0, seed=3
+        )
+        result = pkmc(graph)
+        assert set(core.tolist()) <= set(result.vertices.tolist())
+
+    def test_degree_order_sweep_same_answer(self, small_random_undirected):
+        for seed in range(5):
+            g = small_random_undirected(seed, n=18, m=40)
+            if g.num_edges == 0:
+                continue
+            sync = pkmc(g, sweep="synchronous")
+            ordered = pkmc(g, sweep="degree_order")
+            assert sync.k_star == ordered.k_star
+            assert sync.vertices.tolist() == ordered.vertices.tolist()
+
+    def test_disabling_guard_still_correct_on_samples(self):
+        # Proposition-1 guard off: Theorem 1 alone is still sound.
+        for seed in range(8):
+            g = gnm_random_undirected(16, 36, seed=seed)
+            if g.num_edges == 0:
+                continue
+            with_guard = pkmc(g, proposition1_guard=True)
+            without_guard = pkmc(g, proposition1_guard=False)
+            assert with_guard.k_star == without_guard.k_star
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_core_property_holds(self, seed):
+        g = gnm_random_undirected(18, 40, seed=seed)
+        if g.num_edges == 0:
+            return
+        result = pkmc(g)
+        sub, _ = g.induced_subgraph(result.vertices)
+        assert sub.degrees().min() >= result.k_star
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_relabel_invariance(self, seed):
+        g = gnm_random_undirected(15, 32, seed=seed)
+        if g.num_edges == 0:
+            return
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(g.num_vertices)
+        relabeled = g.relabeled(perm)
+        a = pkmc(g)
+        b = pkmc(relabeled)
+        assert a.k_star == b.k_star
+        assert sorted(perm[a.vertices].tolist()) == b.vertices.tolist()
+
+
+class TestEfficiencyShape:
+    def test_fewer_iterations_than_local(self):
+        # The paper's central claim (Table 6): the early stop prunes the
+        # long convergence tail.
+        graph, _ = planted_dense_subgraph(
+            2000, 9000, core_size=30, core_probability=1.0, seed=4
+        )
+        fast = pkmc(graph)
+        slow = pkmc(graph, early_stop=False)
+        assert fast.iterations <= slow.iterations
+        assert fast.k_star == slow.k_star
+
+    def test_simulated_time_decreases_with_threads(self):
+        g = chung_lu_undirected(3000, 15000, seed=5)
+        t1 = pkmc(g, runtime=SimRuntime(1)).simulated_seconds
+        t16 = pkmc(g, runtime=SimRuntime(16)).simulated_seconds
+        assert t16 < t1
+        assert t1 / t16 > 4  # decent parallel efficiency at p=16
+
+    def test_max_iterations_respected(self, fig2_graph):
+        result = pkmc(fig2_graph, early_stop=False, max_iterations=1)
+        assert result.iterations == 1

@@ -1,0 +1,44 @@
+"""Tests for the result dataclasses."""
+
+import numpy as np
+
+from repro.core import DDSResult, UDSResult
+
+
+class TestUDSResult:
+    def test_counts(self):
+        result = UDSResult("X", np.array([1, 2, 3]), density=1.5)
+        assert result.num_vertices == 3
+
+    def test_repr_mentions_algorithm_and_core(self):
+        result = UDSResult("PKMC", np.array([0]), density=0.5, k_star=3)
+        text = repr(result)
+        assert "PKMC" in text and "k*=3" in text
+
+    def test_repr_without_core(self):
+        result = UDSResult("PFW", np.array([0]), density=0.5)
+        assert "k*" not in repr(result)
+
+    def test_extras_default_independent(self):
+        a = UDSResult("A", np.array([0]), 0.0)
+        b = UDSResult("B", np.array([0]), 0.0)
+        a.extras["key"] = 1
+        assert "key" not in b.extras
+
+
+class TestDDSResult:
+    def test_sizes(self):
+        result = DDSResult("X", np.array([1]), np.array([2, 3]), density=2.0)
+        assert result.s_size == 1
+        assert result.t_size == 2
+
+    def test_repr_with_pair(self):
+        result = DDSResult(
+            "PWC", np.array([0]), np.array([1]), density=1.0, x=3, y=2, w_star=6
+        )
+        text = repr(result)
+        assert "[x,y]=[3,2]" in text and "w*=6" in text
+
+    def test_repr_without_pair(self):
+        result = DDSResult("PBD", np.array([0]), np.array([1]), density=1.0)
+        assert "[x,y]" not in repr(result)

@@ -1,0 +1,68 @@
+"""Tests for Algorithm 3's level structure (the Exp-6 size trace)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import edge_weights, wstar_subgraph
+from repro.graph import gnm_random_directed
+
+
+class TestLevelSizes:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_levels_strictly_increasing_w(self, seed):
+        d = gnm_random_directed(12, 36, seed=seed)
+        if d.num_edges == 0:
+            return
+        result = wstar_subgraph(d, start_at_dmax=False)
+        levels = [w for w, _ in result.level_sizes]
+        assert levels == sorted(set(levels))
+        assert levels[-1] == result.w_star
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_level_sizes_non_increasing(self, seed):
+        d = gnm_random_directed(12, 36, seed=seed)
+        if d.num_edges == 0:
+            return
+        result = wstar_subgraph(d, start_at_dmax=False)
+        sizes = [size for _, size in result.level_sizes]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sizes[-1] == result.size_wstar
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_first_level_is_whole_graph_without_prune(self, seed):
+        d = gnm_random_directed(12, 36, seed=seed)
+        if d.num_edges == 0:
+            return
+        result = wstar_subgraph(d, start_at_dmax=False)
+        assert result.level_sizes[0][1] == d.num_edges
+        assert result.size_after_prune == d.num_edges
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_snapshot_weights_at_least_wstar(self, seed):
+        d = gnm_random_directed(12, 36, seed=seed)
+        if d.num_edges == 0:
+            return
+        result = wstar_subgraph(d)
+        weights = edge_weights(d, edge_mask=result.edge_mask)
+        assert weights[result.edge_mask].min() >= result.w_star
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_prune_skips_low_levels_only(self, seed):
+        # With the d_max shortcut the visited levels are a suffix of the
+        # unpruned ones (same final level, same answer).
+        d = gnm_random_directed(12, 36, seed=seed)
+        if d.num_edges == 0:
+            return
+        pruned = wstar_subgraph(d, start_at_dmax=True)
+        full = wstar_subgraph(d, start_at_dmax=False)
+        pruned_levels = [w for w, _ in pruned.level_sizes]
+        full_levels = [w for w, _ in full.level_sizes]
+        assert pruned_levels == [w for w in full_levels if w >= pruned_levels[0]]
+        assert len(pruned.level_sizes) <= len(full.level_sizes)

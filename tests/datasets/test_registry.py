@@ -1,0 +1,94 @@
+"""Tests for the synthetic dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DIRECTED_DATASETS,
+    UNDIRECTED_DATASETS,
+    dataset_names,
+    get_spec,
+    load_directed,
+    load_undirected,
+)
+from repro.errors import DatasetError
+from repro.graph.stats import powerlaw_exponent_estimate
+
+
+class TestRegistryStructure:
+    def test_twelve_datasets(self):
+        assert len(UNDIRECTED_DATASETS) == 6
+        assert len(DIRECTED_DATASETS) == 6
+
+    def test_paper_table_order(self):
+        assert dataset_names("undirected") == ["PT", "EW", "EU", "IT", "SK", "UN"]
+        assert dataset_names("directed") == ["AM", "AR", "BA", "DL", "WE", "TW"]
+
+    def test_get_spec(self):
+        spec = get_spec("SK")
+        assert spec.full_name == "sk-2005"
+        assert spec.paper_edges == 1_949_412_601
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_spec("XX")
+        with pytest.raises(DatasetError):
+            load_undirected("XX")
+        with pytest.raises(DatasetError):
+            load_directed("XX")
+
+    def test_scale_factors_large(self):
+        for spec in list(UNDIRECTED_DATASETS.values()) + list(
+            DIRECTED_DATASETS.values()
+        ):
+            assert spec.scale_factor > 100
+
+    def test_edge_counts_follow_paper_order(self):
+        # Replica sizes must preserve the paper's size ordering.
+        for table in (UNDIRECTED_DATASETS, DIRECTED_DATASETS):
+            replica = [spec.target_edges for spec in table.values()]
+            paper = [spec.paper_edges for spec in table.values()]
+            assert sorted(range(6), key=lambda i: replica[i]) == sorted(
+                range(6), key=lambda i: paper[i]
+            )
+
+
+class TestGeneratedGraphs:
+    def test_caching_returns_same_object(self):
+        assert load_undirected("PT") is load_undirected("PT")
+        assert load_directed("AM") is load_directed("AM")
+
+    def test_sizes_near_targets(self):
+        for abbr in dataset_names("undirected"):
+            spec = get_spec(abbr)
+            graph = load_undirected(abbr)
+            assert graph.num_edges == pytest.approx(spec.target_edges, rel=0.15)
+
+    def test_directed_sizes_near_targets(self):
+        for abbr in dataset_names("directed"):
+            spec = get_spec(abbr)
+            graph = load_directed(abbr)
+            assert graph.num_edges == pytest.approx(spec.target_edges, rel=0.15)
+
+    def test_undirected_replicas_heavy_tailed(self):
+        graph = load_undirected("UN")
+        alpha = powerlaw_exponent_estimate(graph.degrees(), d_min=3)
+        assert 1.3 < alpha < 4.0
+
+    def test_planted_clique_sets_kstar(self):
+        from repro.core import pkmc
+
+        for abbr in ("PT", "UN"):
+            spec = get_spec(abbr)
+            result = pkmc(load_undirected(abbr))
+            assert result.k_star == spec.clique_size - 1
+            assert result.num_vertices >= spec.clique_size
+
+    def test_am_is_hub_dominated(self):
+        # Table 7: on AM the d_max star is already the answer.
+        from repro.core import pwc
+
+        graph = load_directed("AM")
+        result = pwc(graph)
+        assert result.w_star == graph.max_degree()
+        assert result.extras["size_first"] == result.extras["size_wstar"]

@@ -1,0 +1,72 @@
+"""Tests for the composable replica builder (background + clique + path)."""
+
+import numpy as np
+import pytest
+
+from repro.core import pkmc
+from repro.datasets.synth import build_undirected_replica, clique_edges, path_edges
+
+
+class TestPieces:
+    def test_clique_edges_complete(self):
+        edges = clique_edges(np.array([3, 5, 9]))
+        assert sorted(map(tuple, edges.tolist())) == [(3, 5), (3, 9), (5, 9)]
+
+    def test_clique_edges_count(self):
+        edges = clique_edges(np.arange(10))
+        assert edges.shape == (45, 2)
+
+    def test_path_edges_consecutive(self):
+        edges = path_edges(np.array([2, 4, 6, 8]))
+        assert edges.tolist() == [[2, 4], [4, 6], [6, 8]]
+
+    def test_single_vertex_pieces(self):
+        assert clique_edges(np.array([1])).shape == (0, 2)
+        assert path_edges(np.array([1])).shape == (0, 2)
+
+
+class TestReplicaComposition:
+    def test_vertex_budget(self):
+        graph = build_undirected_replica(
+            1000, 4000, exponent=2.2, max_weight=50.0,
+            clique_size=20, path_length=30, seed=0,
+        )
+        assert graph.num_vertices == 1000 + 20 + 30
+
+    def test_clique_sets_kstar(self):
+        graph = build_undirected_replica(
+            1500, 5000, exponent=2.2, max_weight=40.0,
+            clique_size=30, path_length=0, seed=1,
+        )
+        result = pkmc(graph)
+        assert result.k_star == 29  # the planted K30
+        clique_ids = set(range(1500, 1530))
+        assert clique_ids <= set(result.vertices.tolist())
+
+    def test_path_slows_full_convergence_only(self):
+        from repro.algorithms.undirected import local_uds
+
+        short = build_undirected_replica(
+            1500, 5000, exponent=2.2, max_weight=40.0,
+            clique_size=30, path_length=0, seed=2,
+        )
+        long = build_undirected_replica(
+            1500, 5000, exponent=2.2, max_weight=40.0,
+            clique_size=30, path_length=120, seed=2,
+        )
+        # Local (full convergence) pays for the path...
+        assert local_uds(long).iterations > local_uds(short).iterations + 30
+        # ...while PKMC's early stop does not.
+        assert abs(pkmc(long).iterations - pkmc(short).iterations) <= 2
+
+    def test_deterministic(self):
+        kwargs = dict(
+            num_background_vertices=800,
+            target_edges=3000,
+            exponent=2.2,
+            max_weight=50.0,
+            clique_size=15,
+            path_length=40,
+            seed=5,
+        )
+        assert build_undirected_replica(**kwargs) == build_undirected_replica(**kwargs)

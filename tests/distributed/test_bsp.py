@@ -1,0 +1,198 @@
+"""Tests for the simulated BSP cluster and the distributed PKMC port."""
+
+import numpy as np
+import pytest
+
+from repro.core import pkmc
+from repro.distributed import BSPCluster, ClusterConfig, distributed_pkmc
+from repro.errors import EmptyGraphError, SimulationError
+from repro.graph import UndirectedGraph, chung_lu_undirected, gnm_random_undirected
+
+
+class TestClusterConfig:
+    def test_defaults(self):
+        config = ClusterConfig()
+        assert config.num_workers == 8
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(SimulationError):
+            ClusterConfig(num_workers=0)
+
+
+class TestBSPCluster:
+    def test_hash_partition_covers_all(self):
+        g = gnm_random_undirected(40, 80, seed=0)
+        cluster = BSPCluster(g, ClusterConfig(num_workers=4))
+        sizes = [p.vertices.size for p in cluster.partitions]
+        assert sum(sizes) == g.num_vertices
+        assert max(sizes) - min(sizes) <= 1  # hash partition is balanced
+
+    def test_cross_edge_fraction_bounds(self):
+        g = gnm_random_undirected(50, 150, seed=1)
+        single = BSPCluster(g, ClusterConfig(num_workers=1))
+        assert single.cross_edge_fraction() == 0.0
+        many = BSPCluster(g, ClusterConfig(num_workers=16))
+        assert 0.0 < many.cross_edge_fraction() <= 1.0
+
+    def test_cross_fraction_grows_with_workers(self):
+        g = gnm_random_undirected(100, 300, seed=2)
+        fractions = [
+            BSPCluster(g, ClusterConfig(num_workers=w)).cross_edge_fraction()
+            for w in (2, 4, 16)
+        ]
+        assert fractions == sorted(fractions)
+
+    def test_superstep_advances_clock(self):
+        g = gnm_random_undirected(20, 40, seed=3)
+        cluster = BSPCluster(g, ClusterConfig(num_workers=4))
+        elapsed = cluster.superstep(
+            np.ones(g.num_vertices), np.zeros(g.num_vertices)
+        )
+        assert elapsed > 0
+        assert cluster.now == elapsed
+        assert cluster.supersteps == 1
+
+    def test_superstep_gated_by_slowest_worker(self):
+        g = UndirectedGraph.from_edges(4, [(0, 1), (2, 3)])
+        config = ClusterConfig(
+            num_workers=2,
+            network_latency_seconds=0.0,
+            barrier_seconds=0.0,
+            aggregator_seconds=0.0,
+        )
+        cluster = BSPCluster(g, config)
+        # All work on one worker's vertices (0 and 2 are worker 0).
+        compute = np.array([1e6, 0.0, 1e6, 0.0])
+        elapsed = cluster.superstep(compute, np.zeros(4), aggregate=False)
+        assert elapsed == pytest.approx(2e6 * config.work_unit_seconds)
+
+    def test_message_bytes_charged(self):
+        g = gnm_random_undirected(20, 40, seed=4)
+        config = ClusterConfig(num_workers=4)
+        quiet = BSPCluster(g, config)
+        noisy = BSPCluster(g, config)
+        quiet.superstep(np.zeros(g.num_vertices), np.zeros(g.num_vertices))
+        noisy.superstep(
+            np.zeros(g.num_vertices), np.full(g.num_vertices, 1e5)
+        )
+        assert noisy.now > quiet.now
+
+    def test_wrong_shape_rejected(self):
+        g = gnm_random_undirected(10, 20, seed=5)
+        cluster = BSPCluster(g)
+        with pytest.raises(SimulationError):
+            cluster.superstep(np.ones(3), np.zeros(10))
+
+
+class TestDistributedPKMC:
+    def test_matches_shared_memory_answer(self):
+        for seed in range(6):
+            g = gnm_random_undirected(40, 120, seed=seed)
+            if g.num_edges == 0:
+                continue
+            shared = pkmc(g)
+            for workers in (1, 4, 16):
+                dist = distributed_pkmc(g, ClusterConfig(num_workers=workers))
+                assert dist.k_star == shared.k_star, (seed, workers)
+                assert dist.vertices.tolist() == shared.vertices.tolist()
+
+    def test_early_stop_matches_shared_memory(self):
+        from repro.datasets import load_undirected
+
+        g = load_undirected("PT")
+        dist = distributed_pkmc(g)
+        shared = pkmc(g)
+        assert dist.extras["early_stop_fired"]
+        assert dist.k_star == shared.k_star
+
+    def test_disabling_early_stop_takes_longer(self):
+        g = chung_lu_undirected(2000, 8000, seed=7)
+        fast = distributed_pkmc(g)
+        slow = distributed_pkmc(g, early_stop=False)
+        assert fast.iterations <= slow.iterations
+        assert fast.k_star == slow.k_star
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(EmptyGraphError):
+            distributed_pkmc(UndirectedGraph.empty(4))
+
+    def test_communication_dominates_small_graphs(self):
+        # The paper's caveat realised: for graphs that fit in one machine,
+        # BSP latency makes the distributed port slower than shared memory.
+        from repro.datasets import load_undirected
+        from repro.runtime import SimRuntime
+
+        g = load_undirected("PT")
+        dist = distributed_pkmc(g, ClusterConfig(num_workers=32))
+        shared = pkmc(g, runtime=SimRuntime(32))
+        assert dist.simulated_seconds > shared.simulated_seconds
+
+    def test_messages_shrink_after_convergence_wave(self):
+        g = chung_lu_undirected(3000, 12000, seed=8)
+        result = distributed_pkmc(g)
+        # Silent-unless-changed: total messages well below
+        # supersteps * 2m (the naive all-send volume).
+        naive = result.extras["supersteps"] * 2 * g.num_edges
+        assert result.extras["total_messages"] < naive
+
+    def test_deterministic(self):
+        g = gnm_random_undirected(60, 200, seed=9)
+        a = distributed_pkmc(g)
+        b = distributed_pkmc(g)
+        assert a.simulated_seconds == b.simulated_seconds
+        assert a.extras["total_messages"] == b.extras["total_messages"]
+
+
+class TestDistributedPWC:
+    def test_matches_shared_memory_answer(self):
+        from repro.core import pwc
+        from repro.distributed import distributed_pwc
+        from repro.graph import gnm_random_directed
+
+        for seed in range(6):
+            d = gnm_random_directed(40, 150, seed=seed)
+            if d.num_edges == 0:
+                continue
+            shared = pwc(d)
+            for workers in (1, 4, 16):
+                dist = distributed_pwc(d, ClusterConfig(num_workers=workers))
+                assert dist.w_star == shared.w_star, (seed, workers)
+                assert dist.x * dist.y == shared.x * shared.y
+
+    def test_table7_sizes_preserved(self):
+        from repro.core import pwc
+        from repro.datasets import load_directed
+        from repro.distributed import distributed_pwc
+
+        d = load_directed("AM")
+        shared = pwc(d)
+        dist = distributed_pwc(d)
+        assert dist.extras["size_first"] == shared.extras["size_first"]
+        assert dist.extras["size_wstar"] == shared.extras["size_wstar"]
+
+    def test_dmax_prune_saves_supersteps(self):
+        from repro.datasets import load_directed
+        from repro.distributed import distributed_pwc
+
+        d = load_directed("BA")
+        fast = distributed_pwc(d, start_at_dmax=True)
+        slow = distributed_pwc(d, start_at_dmax=False)
+        assert fast.w_star == slow.w_star
+        assert fast.extras["supersteps"] < slow.extras["supersteps"]
+
+    def test_empty_rejected(self):
+        from repro.distributed import distributed_pwc
+        from repro.graph import DirectedGraph
+
+        with pytest.raises(EmptyGraphError):
+            distributed_pwc(DirectedGraph.empty(3))
+
+    def test_deterministic(self):
+        from repro.distributed import distributed_pwc
+        from repro.graph import gnm_random_directed
+
+        d = gnm_random_directed(50, 200, seed=11)
+        a = distributed_pwc(d)
+        b = distributed_pwc(d)
+        assert a.simulated_seconds == b.simulated_seconds
+        assert a.extras["total_messages"] == b.extras["total_messages"]

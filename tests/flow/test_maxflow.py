@@ -1,0 +1,135 @@
+"""Unit tests for the Dinic max-flow substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AlgorithmError
+from repro.flow import FlowNetwork
+
+
+def _brute_force_min_cut(num_nodes, arcs, source, sink):
+    """Minimum cut by enumerating all source-side subsets (oracle)."""
+    best = float("inf")
+    others = [v for v in range(num_nodes) if v not in (source, sink)]
+    for mask in range(1 << len(others)):
+        side = {source}
+        for bit, v in enumerate(others):
+            if (mask >> bit) & 1:
+                side.add(v)
+        cut = sum(c for u, v, c in arcs if u in side and v not in side)
+        best = min(best, cut)
+    return best
+
+
+class TestBasics:
+    def test_simple_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 5.0)
+        net.add_edge(1, 2, 3.0)
+        assert net.max_flow(0, 2) == pytest.approx(3.0)
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(0, 2, 2.0)
+        net.add_edge(1, 3, 2.0)
+        net.add_edge(2, 3, 2.0)
+        assert net.max_flow(0, 3) == pytest.approx(4.0)
+
+    def test_bottleneck_diamond(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(0, 2, 10.0)
+        net.add_edge(1, 3, 1.0)
+        net.add_edge(2, 3, 1.0)
+        net.add_edge(1, 2, 10.0)
+        assert net.max_flow(0, 3) == pytest.approx(2.0)
+
+    def test_classic_crossing_edge(self):
+        # The textbook example where the crossing edge enables more flow.
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1000.0)
+        net.add_edge(0, 2, 1000.0)
+        net.add_edge(1, 2, 1.0)
+        net.add_edge(1, 3, 1000.0)
+        net.add_edge(2, 3, 1000.0)
+        assert net.max_flow(0, 3) == pytest.approx(2000.0)
+
+    def test_disconnected(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 5.0)
+        assert net.max_flow(0, 3) == 0.0
+
+    def test_zero_capacity(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 0.0)
+        assert net.max_flow(0, 1) == 0.0
+
+
+class TestValidation:
+    def test_same_source_sink_rejected(self):
+        with pytest.raises(AlgorithmError):
+            FlowNetwork(2).max_flow(0, 0)
+
+    def test_bad_endpoint_rejected(self):
+        with pytest.raises(AlgorithmError):
+            FlowNetwork(2).add_edge(0, 5, 1.0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(AlgorithmError):
+            FlowNetwork(2).add_edge(0, 1, -1.0)
+
+    def test_cut_before_flow_rejected(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 1.0)
+        with pytest.raises(AlgorithmError):
+            net.min_cut_source_side(0)
+
+
+class TestMinCut:
+    def test_source_side_separates(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3.0)
+        net.add_edge(1, 2, 1.0)
+        net.add_edge(2, 3, 3.0)
+        net.max_flow(0, 3)
+        side = set(net.min_cut_source_side(0).tolist())
+        assert 0 in side and 3 not in side
+        assert side == {0, 1}
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_max_flow_equals_min_cut(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = 6
+        arcs = []
+        net = FlowNetwork(num_nodes)
+        for u in range(num_nodes):
+            for v in range(num_nodes):
+                if u != v and rng.random() < 0.4:
+                    cap = float(rng.integers(1, 10))
+                    net.add_edge(u, v, cap)
+                    arcs.append((u, v, cap))
+        flow = net.max_flow(0, num_nodes - 1)
+        expected = _brute_force_min_cut(num_nodes, arcs, 0, num_nodes - 1)
+        assert flow == pytest.approx(expected)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_reported_cut_value_matches_flow(self, seed):
+        rng = np.random.default_rng(seed)
+        num_nodes = 7
+        arcs = []
+        net = FlowNetwork(num_nodes)
+        for u in range(num_nodes):
+            for v in range(num_nodes):
+                if u != v and rng.random() < 0.35:
+                    cap = float(rng.integers(1, 8))
+                    net.add_edge(u, v, cap)
+                    arcs.append((u, v, cap))
+        flow = net.max_flow(0, num_nodes - 1)
+        side = set(net.min_cut_source_side(0).tolist())
+        cut_value = sum(c for u, v, c in arcs if u in side and v not in side)
+        assert cut_value == pytest.approx(flow)

@@ -1,0 +1,56 @@
+"""Tests for the exception hierarchy and its messages."""
+
+import pytest
+
+from repro.errors import (
+    AlgorithmError,
+    DatasetError,
+    EmptyGraphError,
+    GraphError,
+    GraphFormatError,
+    ReproError,
+    SimMemoryLimitExceeded,
+    SimTimeLimitExceeded,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (
+            GraphError,
+            GraphFormatError,
+            EmptyGraphError,
+            AlgorithmError,
+            SimulationError,
+            SimTimeLimitExceeded,
+            SimMemoryLimitExceeded,
+            DatasetError,
+        ):
+            assert issubclass(exc_type, ReproError)
+
+    def test_format_error_is_graph_error(self):
+        assert issubclass(GraphFormatError, GraphError)
+
+    def test_limit_errors_are_simulation_errors(self):
+        assert issubclass(SimTimeLimitExceeded, SimulationError)
+        assert issubclass(SimMemoryLimitExceeded, SimulationError)
+
+    def test_catching_base_catches_everything(self):
+        with pytest.raises(ReproError):
+            raise EmptyGraphError("no edges")
+
+
+class TestBudgetExceptions:
+    def test_time_limit_message_and_fields(self):
+        error = SimTimeLimitExceeded(elapsed=12.5, limit=10.0)
+        assert error.elapsed == 12.5
+        assert error.limit == 10.0
+        assert "12.5" in str(error)
+        assert "10" in str(error)
+
+    def test_memory_limit_message_in_gib(self):
+        error = SimMemoryLimitExceeded(peak_bytes=2**31, limit_bytes=2**30)
+        assert error.peak_bytes == 2**31
+        assert "2.00 GiB" in str(error)
+        assert "1.00 GiB" in str(error)

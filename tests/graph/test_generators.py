@@ -1,0 +1,110 @@
+"""Unit tests for the random-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    chung_lu_directed,
+    chung_lu_undirected,
+    gnm_random_directed,
+    gnm_random_undirected,
+    planted_dense_subgraph,
+    planted_st_subgraph,
+    powerlaw_weights,
+)
+from repro.graph.stats import powerlaw_exponent_estimate
+
+
+class TestPowerlawWeights:
+    def test_bounds_respected(self):
+        weights = powerlaw_weights(5000, exponent=2.2, w_min=1.0, w_max=50.0, seed=0)
+        assert weights.min() >= 1.0
+        assert weights.max() <= 50.0
+
+    def test_deterministic(self):
+        a = powerlaw_weights(100, seed=3)
+        b = powerlaw_weights(100, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_empty(self):
+        assert powerlaw_weights(0).size == 0
+
+    def test_heavy_tail(self):
+        weights = powerlaw_weights(20000, exponent=2.1, seed=1)
+        # A power law has max far above the mean.
+        assert weights.max() > 10 * weights.mean()
+
+
+class TestGnm:
+    def test_edge_count_close(self):
+        g = gnm_random_undirected(100, 300, seed=0)
+        assert g.num_edges == 300
+
+    def test_deterministic(self):
+        a = gnm_random_undirected(50, 100, seed=9)
+        b = gnm_random_undirected(50, 100, seed=9)
+        assert a == b
+
+    def test_zero_edges(self):
+        assert gnm_random_undirected(10, 0, seed=0).num_edges == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphError):
+            gnm_random_undirected(-1, 5)
+
+    def test_directed_counts(self):
+        d = gnm_random_directed(100, 400, seed=0)
+        assert d.num_edges == 400
+        assert d.num_vertices == 100
+
+
+class TestChungLu:
+    def test_undirected_target_edges(self):
+        g = chung_lu_undirected(2000, 10000, seed=4)
+        assert g.num_edges == 10000
+
+    def test_degrees_heavy_tailed(self):
+        g = chung_lu_undirected(5000, 30000, exponent=2.1, seed=5)
+        alpha = powerlaw_exponent_estimate(g.degrees(), d_min=3)
+        assert 1.4 < alpha < 3.5  # plausibly power-law
+
+    def test_max_weight_caps_hubs(self):
+        capped = chung_lu_undirected(5000, 30000, max_weight=30.0, seed=6)
+        free = chung_lu_undirected(5000, 30000, max_weight=2000.0, seed=6)
+        assert capped.max_degree() < free.max_degree()
+
+    def test_directed_in_hub_heavier(self):
+        d = chung_lu_directed(5000, 30000, out_exponent=2.6, in_exponent=2.0, seed=7)
+        assert d.max_in_degree() > d.max_out_degree()
+
+
+class TestPlanted:
+    def test_planted_core_is_dense(self):
+        graph, core = planted_dense_subgraph(
+            500, 2000, core_size=20, core_probability=1.0, seed=8
+        )
+        sub, _ = graph.induced_subgraph(core)
+        assert sub.num_edges == 20 * 19 // 2  # full clique at p=1.0
+
+    def test_core_size_validation(self):
+        with pytest.raises(GraphError):
+            planted_dense_subgraph(10, 20, core_size=11)
+
+    def test_planted_st_block_edges(self):
+        graph, s, t = planted_st_subgraph(
+            400, 1500, s_size=10, t_size=12, block_probability=1.0, seed=9
+        )
+        assert s.size == 10 and t.size == 12
+        block = graph.st_induced_subgraph(s, t)
+        assert block.num_edges >= 10 * 12  # all block pairs present
+
+    def test_planted_st_validation(self):
+        with pytest.raises(GraphError):
+            planted_st_subgraph(10, 20, s_size=6, t_size=6)
+
+    def test_planted_deterministic(self):
+        a, sa = planted_dense_subgraph(300, 900, core_size=15, seed=10)
+        b, sb = planted_dense_subgraph(300, 900, core_size=15, seed=10)
+        assert a == b
+        assert np.array_equal(sa, sb)

@@ -1,0 +1,134 @@
+"""Unit tests for the bucket queue and peel-state helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import (
+    DirectedGraph,
+    DirectedPeelState,
+    MinDegreeBucketQueue,
+    UndirectedGraph,
+    VertexPeelState,
+    gnm_random_undirected,
+)
+
+
+class TestBucketQueue:
+    def test_pop_order(self):
+        queue = MinDegreeBucketQueue(np.array([3, 1, 2, 1]))
+        popped = [queue.pop_min() for _ in range(4)]
+        keys = [k for _, k in popped]
+        assert keys == sorted(keys)
+
+    def test_decrease_key(self):
+        queue = MinDegreeBucketQueue(np.array([5, 5, 5]))
+        queue.decrease_key(2)
+        queue.decrease_key(2)
+        vertex, key = queue.pop_min()
+        assert vertex == 2
+        assert key == 3
+
+    def test_decrease_after_pop_is_noop(self):
+        queue = MinDegreeBucketQueue(np.array([1, 2]))
+        vertex, _ = queue.pop_min()
+        queue.decrease_key(vertex)  # must not corrupt the structure
+        assert queue.pop_min()[0] != vertex
+
+    def test_decrease_at_zero_is_noop(self):
+        queue = MinDegreeBucketQueue(np.array([0, 1]))
+        queue.decrease_key(0)
+        assert queue.pop_min() == (0, 0)
+
+    def test_empty_pop_raises(self):
+        queue = MinDegreeBucketQueue(np.array([], dtype=np.int64))
+        with pytest.raises(GraphError):
+            queue.pop_min()
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(GraphError):
+            MinDegreeBucketQueue(np.array([-1]))
+
+    def test_len_and_peek(self):
+        queue = MinDegreeBucketQueue(np.array([4, 2]))
+        assert len(queue) == 2
+        assert queue.peek_min_key() == 2
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_pop_sequence_sorted_without_decreases(self, keys):
+        queue = MinDegreeBucketQueue(np.array(keys))
+        popped = [queue.pop_min()[1] for _ in range(len(keys))]
+        assert popped == sorted(keys)
+
+
+class TestVertexPeelState:
+    def test_remove_updates_degrees(self, fig2_graph):
+        state = VertexPeelState(fig2_graph)
+        removed = state.remove_vertex(3)  # hub of the K4 + tail
+        assert removed == 4
+        assert state.degree[0] == 2
+        assert state.num_alive_edges == 6
+
+    def test_double_remove_noop(self, triangle_graph):
+        state = VertexPeelState(triangle_graph)
+        assert state.remove_vertex(0) == 2
+        assert state.remove_vertex(0) == 0
+
+    def test_density_tracking(self, triangle_graph):
+        state = VertexPeelState(triangle_graph)
+        assert state.density() == 1.0
+        state.remove_vertex(0)
+        assert state.density() == pytest.approx(1 / 2)
+
+    def test_remove_batch(self, fig2_graph):
+        state = VertexPeelState(fig2_graph)
+        removed = state.remove_vertices(np.array([4, 5, 6, 7]))
+        assert removed == 4
+        assert state.alive_vertices().tolist() == [0, 1, 2, 3]
+
+    def test_peel_to_empty(self):
+        g = gnm_random_undirected(10, 20, seed=1)
+        state = VertexPeelState(g)
+        state.remove_vertices(np.arange(10))
+        assert state.num_alive_edges == 0
+        assert state.num_alive_vertices == 0
+
+
+class TestDirectedPeelState:
+    def test_remove_from_s_kills_out_edges(self, fig3_graph):
+        state = DirectedPeelState(fig3_graph)
+        removed = state.remove_from_s(1)  # u2 has 5 out-edges
+        assert removed == 5
+        assert state.din[4] == 1
+
+    def test_remove_from_t_kills_in_edges(self, fig3_graph):
+        state = DirectedPeelState(fig3_graph)
+        removed = state.remove_from_t(7)  # v4 has 3 in-edges
+        assert removed == 3
+        assert state.dout[3] == 0
+
+    def test_remove_edge(self, fig3_graph):
+        state = DirectedPeelState(fig3_graph)
+        assert state.remove_edge(0)
+        assert not state.remove_edge(0)
+        assert state.num_alive_edges == fig3_graph.num_edges - 1
+
+    def test_s_and_t_vertices(self, fig3_graph):
+        state = DirectedPeelState(fig3_graph)
+        assert state.s_vertices().tolist() == [0, 1, 2, 3]
+        assert state.t_vertices().tolist() == [4, 5, 6, 7, 8]
+
+    def test_density(self, fig3_graph):
+        state = DirectedPeelState(fig3_graph)
+        expected = 11 / np.sqrt(4 * 5)
+        assert state.density() == pytest.approx(expected)
+
+    def test_vertex_in_both_sides(self):
+        d = DirectedGraph.from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        state = DirectedPeelState(d)
+        state.remove_from_s(1)
+        # vertex 1 still counts on the T side (edge 0 -> 1 alive).
+        assert 1 in state.t_vertices().tolist()

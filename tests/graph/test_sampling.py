@@ -1,0 +1,67 @@
+"""Unit tests for the edge-sampling protocol of Exp-4/Exp-8."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    DEFAULT_FRACTIONS,
+    edge_fraction_series,
+    gnm_random_directed,
+    gnm_random_undirected,
+    sample_edges,
+)
+
+
+class TestSampleEdges:
+    def test_fraction_one_returns_same_object(self):
+        g = gnm_random_undirected(50, 100, seed=0)
+        assert sample_edges(g, 1.0) is g
+
+    def test_edge_count(self):
+        g = gnm_random_undirected(50, 100, seed=0)
+        assert sample_edges(g, 0.4, seed=1).num_edges == 40
+
+    def test_vertex_set_preserved(self):
+        g = gnm_random_undirected(50, 100, seed=0)
+        assert sample_edges(g, 0.2, seed=1).num_vertices == 50
+
+    def test_invalid_fraction(self):
+        g = gnm_random_undirected(10, 20, seed=0)
+        with pytest.raises(GraphError):
+            sample_edges(g, 1.5)
+
+    def test_directed_supported(self):
+        d = gnm_random_directed(40, 120, seed=0)
+        sampled = sample_edges(d, 0.5, seed=2)
+        assert sampled.num_edges == 60
+
+
+class TestSeries:
+    def test_default_fractions(self):
+        assert DEFAULT_FRACTIONS == (0.2, 0.4, 0.6, 0.8, 1.0)
+
+    def test_series_sizes_monotone(self):
+        g = gnm_random_undirected(60, 200, seed=3)
+        series = edge_fraction_series(g, seed=4)
+        sizes = [sub.num_edges for _, sub in series]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 200
+
+    def test_series_nested(self):
+        g = gnm_random_directed(40, 100, seed=5)
+        series = edge_fraction_series(g, fractions=(0.3, 0.7), seed=6)
+        small = {tuple(e) for e in series[0][1].edges().tolist()}
+        large = {tuple(e) for e in series[1][1].edges().tolist()}
+        assert small <= large
+
+    def test_series_deterministic(self):
+        g = gnm_random_undirected(40, 100, seed=7)
+        a = edge_fraction_series(g, seed=8)
+        b = edge_fraction_series(g, seed=8)
+        assert all(x[1] == y[1] for x, y in zip(a, b))
+
+    def test_zero_fraction_rejected(self):
+        g = gnm_random_undirected(10, 20, seed=0)
+        with pytest.raises(GraphError):
+            edge_fraction_series(g, fractions=(0.0, 1.0))

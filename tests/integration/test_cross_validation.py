@@ -1,0 +1,174 @@
+"""Cross-algorithm integration tests: every solver against every oracle.
+
+These are the library's strongest guarantees: all 2-approximation
+algorithms verified against exact flow/brute-force optima, core-based
+algorithms against networkx, and the paper's headline invariants
+(Lemma 1, Lemma 3, Theorem 1, Theorem 2) exercised end to end on random
+inputs via hypothesis.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import densest_subgraph, directed_densest_subgraph
+from repro.algorithms.directed import brute_force_dds
+from repro.algorithms.undirected import brute_force_uds
+from repro.graph import (
+    DirectedGraph,
+    UndirectedGraph,
+    gnm_random_directed,
+    gnm_random_undirected,
+)
+
+TWO_APPROX_UDS = ("pkmc", "local", "pkc", "charikar", "greedypp")
+TWO_APPROX_DDS = ("pwc", "pxy", "pbs")
+
+
+class TestUDSGuarantees:
+    @given(st.integers(0, 2**32 - 1), st.sampled_from(TWO_APPROX_UDS))
+    @settings(max_examples=40, deadline=None)
+    def test_two_approximation(self, seed, method):
+        g = gnm_random_undirected(11, 26, seed=seed)
+        if g.num_edges == 0:
+            return
+        optimum = brute_force_uds(g).density
+        found = densest_subgraph(g, method=method).density
+        assert found * 2 + 1e-9 >= optimum
+        assert found <= optimum + 1e-9
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_lemma1_kstar_core_bound(self, seed):
+        # Lemma 1: rho(k*-core) >= rho* / 2; moreover rho(k*-core) >= k*/2.
+        g = gnm_random_undirected(12, 30, seed=seed)
+        if g.num_edges == 0:
+            return
+        result = densest_subgraph(g, method="pkmc")
+        assert result.density >= result.k_star / 2 - 1e-9
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_core_agreement_three_ways(self, seed):
+        g = gnm_random_undirected(18, 44, seed=seed)
+        if g.num_edges == 0:
+            return
+        from repro.algorithms.undirected import (
+            local_core_decomposition,
+            pkc_core_decomposition,
+        )
+
+        h_based, _ = local_core_decomposition(g)
+        peel_based, _, _, _ = pkc_core_decomposition(g)
+        nx_graph = nx.Graph(list(map(tuple, g.edges().tolist())))
+        nx_graph.add_nodes_from(range(g.num_vertices))
+        reference = nx.core_number(nx_graph)
+        for v in range(g.num_vertices):
+            assert h_based[v] == peel_based[v] == reference[v]
+
+    def test_quality_on_every_replica(self):
+        # On each dataset replica the k*-core density must obey Lemma 1's
+        # lower bound k*/2 (the densest subgraph is >= k*-core density).
+        from repro.datasets import dataset_names, load_undirected
+
+        for abbr in dataset_names("undirected"):
+            result = densest_subgraph(load_undirected(abbr))
+            assert result.density >= result.k_star / 2
+
+
+class TestDDSGuarantees:
+    @given(st.integers(0, 2**32 - 1), st.sampled_from(TWO_APPROX_DDS))
+    @settings(max_examples=25, deadline=None)
+    def test_two_approximation(self, seed, method):
+        d = gnm_random_directed(8, 22, seed=seed)
+        if d.num_edges == 0:
+            return
+        optimum = brute_force_dds(d).density
+        found = directed_densest_subgraph(d, method=method).density
+        assert found * 2 + 1e-9 >= optimum
+        assert found <= optimum + 1e-9
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_theorem2_pwc_pxy_agree(self, seed):
+        d = gnm_random_directed(10, 30, seed=seed)
+        if d.num_edges == 0:
+            return
+        pwc_result = directed_densest_subgraph(d, method="pwc")
+        pxy_result = directed_densest_subgraph(d, method="pxy")
+        assert pwc_result.x * pwc_result.y == pxy_result.x * pxy_result.y
+        # Theorem 2 revised: w* upper-bounds the maximum product.
+        assert pwc_result.w_star >= pwc_result.x * pwc_result.y
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_density_reported_matches_sets(self, seed):
+        d = gnm_random_directed(9, 26, seed=seed)
+        if d.num_edges == 0:
+            return
+        result = directed_densest_subgraph(d, method="pwc")
+        assert d.density(result.s, result.t) == pytest.approx(result.density)
+
+    def test_undirected_reduction(self):
+        # Paper Section I: with S = T the directed density reduces to the
+        # undirected one.  A symmetric digraph (edges both ways) must give
+        # rho_directed(S, S) = 2 * rho_undirected(S) (each undirected edge
+        # becomes two arcs, |S| = sqrt(|S||S|)).
+        g = gnm_random_undirected(10, 24, seed=3)
+        arcs = np.concatenate([g.edges(), g.edges()[:, ::-1]])
+        d = DirectedGraph.from_edges(g.num_vertices, arcs)
+        uds = brute_force_uds(g)
+        s = uds.vertices
+        assert d.density(s, s) == pytest.approx(2 * uds.density)
+
+
+class TestInvariances:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_dds_relabel_invariance(self, seed):
+        d = gnm_random_directed(9, 24, seed=seed)
+        if d.num_edges == 0:
+            return
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(d.num_vertices)
+        relabeled = DirectedGraph.from_edges(
+            d.num_vertices,
+            np.stack([perm[d.edge_src], perm[d.edge_dst]], axis=1),
+        )
+        a = directed_densest_subgraph(d, method="pwc")
+        b = directed_densest_subgraph(relabeled, method="pwc")
+        assert a.w_star == b.w_star
+        assert a.density == pytest.approx(b.density)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_dds_reversal_symmetry(self, seed):
+        # Reversing all edges swaps the roles of S and T: w* and the
+        # maximum cn-product are invariant.  The returned core may differ
+        # in density when several maximum cn-pairs tie (e.g. [4, 2] vs
+        # [2, 4]) — any of them is a valid 2-approximation — so density is
+        # only checked against the (reversal-invariant) optimum.
+        d = gnm_random_directed(9, 24, seed=seed)
+        if d.num_edges == 0:
+            return
+        forward = directed_densest_subgraph(d, method="pwc")
+        backward = directed_densest_subgraph(d.reversed(), method="pwc")
+        assert forward.w_star == backward.w_star
+        assert forward.x * forward.y == backward.x * backward.y
+        optimum = brute_force_dds(d).density
+        assert forward.density * 2 + 1e-9 >= optimum
+        assert backward.density * 2 + 1e-9 >= optimum
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_uds_isolated_vertices_irrelevant(self, seed):
+        g = gnm_random_undirected(12, 28, seed=seed)
+        if g.num_edges == 0:
+            return
+        padded = UndirectedGraph.from_edges(g.num_vertices + 5, g.edges())
+        a = densest_subgraph(g)
+        b = densest_subgraph(padded)
+        assert a.density == pytest.approx(b.density)
+        assert a.k_star == b.k_star

@@ -1,0 +1,44 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.runtime import DEFAULT_COST_MODEL, CostModel
+
+
+class TestCostModel:
+    def test_single_thread_has_no_parallel_overhead(self):
+        model = CostModel()
+        assert model.spawn_seconds(1) == 0.0
+        assert model.barrier_seconds(1) == 0.0
+
+    def test_spawn_grows_with_threads(self):
+        model = CostModel()
+        assert model.spawn_seconds(64) > model.spawn_seconds(2)
+
+    def test_barrier_log_growth(self):
+        model = CostModel()
+        b2, b4, b16 = (model.barrier_seconds(p) for p in (2, 4, 16))
+        assert b2 < b4 < b16
+        # log-tree barrier: growth from 4 to 16 is 2x the log increment.
+        assert (b16 - b4) == pytest.approx(2 * (b4 - b2))
+
+    def test_atomic_contention(self):
+        model = CostModel()
+        assert model.atomic_op_seconds(32) > model.atomic_op_seconds(1)
+        assert model.atomic_op_seconds(1) == pytest.approx(model.atomic_seconds)
+
+    def test_work_linear(self):
+        model = CostModel(work_unit_seconds=2e-9)
+        assert model.work_seconds(1e6) == pytest.approx(2e-3)
+
+    def test_graph_bytes(self):
+        model = CostModel(bytes_per_edge=16, bytes_per_vertex=24)
+        assert model.graph_bytes(10, 100) == 10 * 24 + 100 * 16
+
+    def test_default_model_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_COST_MODEL.work_unit_seconds = 1.0
+
+    def test_custom_model_overrides(self):
+        model = CostModel(work_unit_seconds=1.0)
+        assert model.work_seconds(3) == 3.0

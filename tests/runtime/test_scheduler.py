@@ -1,0 +1,102 @@
+"""Unit tests for the simulated loop schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.runtime import compute_thread_loads
+
+
+class TestStatic:
+    def test_uniform_costs_balanced(self):
+        loads = compute_thread_loads(np.ones(100), 4, schedule="static")
+        assert loads.tolist() == [25.0, 25.0, 25.0, 25.0]
+
+    def test_skewed_costs_imbalanced(self):
+        costs = np.zeros(100)
+        costs[:25] = 100.0  # all the work in the first block
+        loads = compute_thread_loads(costs, 4, schedule="static")
+        assert loads.max() == pytest.approx(2500.0)
+        assert loads.min() == 0.0
+
+    def test_conserves_total(self):
+        costs = np.arange(57, dtype=float)
+        loads = compute_thread_loads(costs, 8, schedule="static")
+        assert loads.sum() == pytest.approx(costs.sum())
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        costs = np.array([1.0, 2.0, 3.0, 4.0])
+        loads = compute_thread_loads(costs, 2, schedule="static_cyclic", chunk=1)
+        assert loads.tolist() == [4.0, 6.0]
+
+    def test_chunked(self):
+        costs = np.array([1.0, 1.0, 5.0, 5.0])
+        loads = compute_thread_loads(costs, 2, schedule="static_cyclic", chunk=2)
+        assert loads.tolist() == [2.0, 10.0]
+
+
+class TestDynamic:
+    def test_dynamic_beats_static_on_skew(self):
+        costs = np.zeros(64)
+        costs[:16] = 10.0
+        static = compute_thread_loads(costs, 4, schedule="static").max()
+        dynamic = compute_thread_loads(costs, 4, schedule="dynamic", chunk=1).max()
+        assert dynamic < static
+
+    def test_tasks_makespan_at_least_max_task(self):
+        costs = np.array([100.0, 1.0, 1.0, 1.0])
+        loads = compute_thread_loads(costs, 4, schedule="tasks")
+        assert loads.max() == pytest.approx(100.0)
+
+    def test_tasks_on_equal_costs_balanced(self):
+        loads = compute_thread_loads(np.ones(40), 8, schedule="tasks")
+        assert loads.max() == pytest.approx(5.0)
+
+
+class TestValidation:
+    def test_single_thread_gets_everything(self):
+        loads = compute_thread_loads(np.array([3.0, 4.0]), 1)
+        assert loads.tolist() == [7.0]
+
+    def test_empty_costs(self):
+        loads = compute_thread_loads(np.array([]), 4)
+        assert loads.tolist() == [0.0] * 4
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(SimulationError):
+            compute_thread_loads(np.ones(4), 0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(SimulationError):
+            compute_thread_loads(np.array([-1.0]), 2)
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(SimulationError):
+            compute_thread_loads(np.ones(4), 2, schedule="magic")
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(0, 100), min_size=1, max_size=60),
+        st.integers(1, 16),
+        st.sampled_from(["static", "static_cyclic", "dynamic", "tasks"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_total_work_conserved(self, costs, threads, schedule):
+        costs = np.asarray(costs)
+        loads = compute_thread_loads(costs, threads, schedule=schedule)
+        assert loads.sum() == pytest.approx(costs.sum(), rel=1e-9, abs=1e-9)
+        assert loads.size == threads
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=60), st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_bounds(self, costs, threads):
+        costs = np.asarray(costs)
+        loads = compute_thread_loads(costs, threads, schedule="tasks")
+        lower = max(costs.max(initial=0.0), costs.sum() / threads)
+        assert loads.max() >= lower - 1e-9
+        assert loads.max() <= costs.sum() + 1e-9

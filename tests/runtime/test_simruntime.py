@@ -1,0 +1,215 @@
+"""Unit tests for the simulated shared-memory runtime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    SimMemoryLimitExceeded,
+    SimTimeLimitExceeded,
+    SimulationError,
+)
+from repro.graph import UndirectedGraph
+from repro.runtime import CostModel, SimRuntime
+
+WORK_ONLY = CostModel(
+    spawn_base_seconds=0.0,
+    spawn_per_thread_seconds=0.0,
+    barrier_base_seconds=0.0,
+    barrier_log_seconds=0.0,
+    atomic_seconds=0.0,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimRuntime(4).now == 0.0
+
+    def test_serial_charge(self):
+        rt = SimRuntime(1, cost_model=CostModel(work_unit_seconds=1e-6))
+        rt.charge_serial(1000)
+        assert rt.now == pytest.approx(1e-3)
+
+    def test_negative_serial_rejected(self):
+        with pytest.raises(SimulationError):
+            SimRuntime(1).charge_serial(-1)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(SimulationError):
+            SimRuntime(0)
+
+    def test_parfor_speedup_ideal_without_overheads(self):
+        costs = np.ones(1024)
+        t1 = SimRuntime(1, cost_model=WORK_ONLY)
+        t8 = SimRuntime(8, cost_model=WORK_ONLY)
+        t1.parfor(costs)
+        t8.parfor(costs)
+        assert t1.now / t8.now == pytest.approx(8.0)
+
+    def test_parfor_scalar_splits_evenly(self):
+        rt = SimRuntime(4, cost_model=WORK_ONLY)
+        rt.parfor(400.0)
+        assert rt.now == pytest.approx(100 * WORK_ONLY.work_unit_seconds)
+
+    def test_imbalance_shows_in_breakdown(self):
+        costs = np.zeros(64)
+        costs[0] = 640.0
+        rt = SimRuntime(8, cost_model=WORK_ONLY)
+        rt.parfor(costs, schedule="tasks")
+        assert rt.breakdown.imbalance > 0
+        assert rt.breakdown.work == pytest.approx(
+            WORK_ONLY.work_seconds(640 / 8)
+        )
+
+    def test_overhead_dominates_tiny_loops(self):
+        rt = SimRuntime(64)
+        for _ in range(100):
+            rt.parfor(np.ones(4))
+        assert rt.breakdown.spawn + rt.breakdown.barrier > rt.breakdown.work
+
+    def test_parallel_region_amortises_spawn(self):
+        per_loop = SimRuntime(32)
+        for _ in range(10):
+            per_loop.parfor(np.ones(32))
+        region = SimRuntime(32)
+        with region.parallel_region():
+            for _ in range(10):
+                region.parfor(np.ones(32))
+        assert region.breakdown.spawn < per_loop.breakdown.spawn
+
+    def test_determinism(self):
+        def run():
+            rt = SimRuntime(16)
+            with rt.parallel_region():
+                rt.parfor(np.arange(100, dtype=float), schedule="dynamic")
+                rt.par_tasks(np.arange(10, dtype=float), atomic_ops=50)
+            return rt.now
+
+        assert run() == run()
+
+    def test_atomic_cost_counted(self):
+        quiet = SimRuntime(8, cost_model=WORK_ONLY)
+        noisy = SimRuntime(
+            8,
+            cost_model=CostModel(
+                spawn_base_seconds=0.0,
+                spawn_per_thread_seconds=0.0,
+                barrier_base_seconds=0.0,
+                barrier_log_seconds=0.0,
+                atomic_seconds=1e-7,
+            ),
+        )
+        quiet.parfor(np.ones(8), atomic_ops=1000)
+        noisy.parfor(np.ones(8), atomic_ops=1000)
+        assert noisy.now > quiet.now
+        assert noisy.metrics.atomic_ops == 1000
+
+
+class TestLimits:
+    def test_time_limit_raises(self):
+        rt = SimRuntime(1, time_limit=1e-9)
+        with pytest.raises(SimTimeLimitExceeded):
+            rt.charge_serial(10_000)
+
+    def test_time_limit_exception_carries_values(self):
+        rt = SimRuntime(1, time_limit=1e-9)
+        with pytest.raises(SimTimeLimitExceeded) as excinfo:
+            rt.charge_serial(10_000)
+        assert excinfo.value.limit == 1e-9
+        assert excinfo.value.elapsed > 1e-9
+
+    def test_memory_limit(self):
+        rt = SimRuntime(4, memory_limit_bytes=100)
+        with pytest.raises(SimMemoryLimitExceeded):
+            rt.allocate(30, per_thread=True)  # books 120 bytes
+
+    def test_memory_free_restores(self):
+        rt = SimRuntime(2, memory_limit_bytes=100)
+        booked = rt.allocate(40)
+        rt.free(booked)
+        rt.allocate(80)  # would fail if the first allocation leaked
+        assert rt.current_memory_bytes == 80
+
+    def test_allocation_context_manager(self):
+        rt = SimRuntime(1)
+        with rt.allocation(64):
+            assert rt.current_memory_bytes == 64
+        assert rt.current_memory_bytes == 0
+
+    def test_peak_memory_tracked(self):
+        rt = SimRuntime(1)
+        with rt.allocation(100):
+            pass
+        rt.allocate(10)
+        assert rt.metrics.peak_memory_bytes == 100
+
+    def test_allocate_graph_per_thread(self):
+        rt = SimRuntime(8)
+        g = UndirectedGraph.from_edges(4, [(0, 1), (2, 3)])
+        booked = rt.allocate_graph(g, per_thread=True)
+        assert booked == 8 * rt.cost_model.graph_bytes(4, 2)
+
+    def test_bad_free_rejected(self):
+        rt = SimRuntime(1)
+        with pytest.raises(SimulationError):
+            rt.free(10)
+
+
+class TestMetrics:
+    def test_loop_and_item_counters(self):
+        rt = SimRuntime(4)
+        rt.parfor(np.ones(10))
+        rt.parfor(np.ones(5))
+        assert rt.metrics.parallel_loops == 2
+        assert rt.metrics.items_processed == 15
+
+    def test_breakdown_total_matches_clock(self):
+        rt = SimRuntime(16)
+        with rt.parallel_region():
+            rt.parfor(np.arange(50, dtype=float), atomic_ops=10)
+        rt.charge_serial(100)
+        assert rt.breakdown.total == pytest.approx(rt.now)
+
+    def test_breakdown_as_dict_keys(self):
+        rt = SimRuntime(2)
+        keys = set(rt.breakdown.as_dict())
+        assert keys == {
+            "work", "imbalance", "spawn", "barrier", "atomic", "serial", "total",
+        }
+
+    def test_run_metrics_as_dict(self):
+        rt = SimRuntime(2)
+        rt.parfor(np.ones(3))
+        flat = rt.metrics.as_dict()
+        assert flat["parallel_loops"] == 1
+        assert flat["items_processed"] == 3
+
+
+class TestCostModelSensitivity:
+    def test_work_time_scales_linearly_with_unit_cost(self):
+        fast = SimRuntime(4, cost_model=CostModel(work_unit_seconds=1e-9))
+        slow = SimRuntime(4, cost_model=CostModel(work_unit_seconds=2e-9))
+        fast.parfor(np.full(64, 100.0))
+        slow.parfor(np.full(64, 100.0))
+        ratio = (slow.breakdown.work) / (fast.breakdown.work)
+        assert ratio == pytest.approx(2.0)
+
+    def test_algorithm_ranking_stable_under_cost_rescale(self):
+        # Scaling every cost uniformly must not change who wins — the
+        # experiments' conclusions are not artefacts of the calibration.
+        from repro.core import pkmc
+        from repro.algorithms.undirected import pbu_uds
+        from repro.graph import chung_lu_undirected
+
+        g = chung_lu_undirected(1500, 7000, seed=6)
+        for scale in (0.1, 1.0, 10.0):
+            model = CostModel(
+                work_unit_seconds=5e-9 * scale,
+                spawn_base_seconds=4e-6 * scale,
+                spawn_per_thread_seconds=5e-7 * scale,
+                barrier_base_seconds=1e-6 * scale,
+                barrier_log_seconds=8e-7 * scale,
+                atomic_seconds=2.5e-8 * scale,
+            )
+            fast = pkmc(g, runtime=SimRuntime(32, cost_model=model))
+            slow = pbu_uds(g, runtime=SimRuntime(32, cost_model=model))
+            assert fast.simulated_seconds < slow.simulated_seconds

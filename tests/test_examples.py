@@ -1,0 +1,52 @@
+"""Smoke tests: every example script must parse, and the fast ones run."""
+
+import ast
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(names) >= 4  # quickstart + >= 3 domain scenarios
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses(path):
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source)
+    # Every example must be documented and runnable as a script.
+    assert ast.get_docstring(tree), path.name
+    assert "__main__" in source, path.name
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "PKMC" in out
+    assert "approximation ratio" in out
+    assert "speedup" in out
+
+
+def test_fake_follower_example_runs(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "fake_follower_detection.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "PWC found" in out
+    assert "100%" in out  # the ring is recovered exactly
+
+
+def test_distributed_example_runs(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "distributed_study.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "shared memory" in out
+    assert "saved by stopping early" in out
