@@ -6,13 +6,23 @@ vertex power-law social network, then recovers it with the paper's PKMC
 algorithm and measures precision/recall against the ground truth.  Also
 contrasts quality and simulated cost across the whole UDS method zoo.
 
-Run:  python examples/community_detection.py
+Run:  python examples/community_detection.py [seed]
 """
+
+import sys
 
 import numpy as np
 
 from repro import densest_subgraph
 from repro.graph import planted_dense_subgraph
+
+DEFAULT_SEED = 7
+
+
+def seed_from_argv(default: int = DEFAULT_SEED) -> int:
+    """Optional integer argv override, so reruns are reproducible on demand."""
+    arg = sys.argv[1] if len(sys.argv) > 1 else ""
+    return int(arg) if arg.lstrip("+").isdigit() else default
 
 
 def precision_recall(found: np.ndarray, truth: np.ndarray) -> tuple[float, float]:
@@ -25,15 +35,16 @@ def precision_recall(found: np.ndarray, truth: np.ndarray) -> tuple[float, float
     return precision, recall
 
 
-def main() -> None:
+def main(seed: int = DEFAULT_SEED) -> None:
     graph, community = planted_dense_subgraph(
         n=10_000,
         background_edges=60_000,
         core_size=40,
         core_probability=0.95,
-        seed=7,
+        seed=seed,
     )
-    print(f"network: {graph};  hidden community of {community.size} members\n")
+    print(f"network: {graph};  hidden community of {community.size} members "
+          f"(seed={seed})\n")
 
     print(f"{'method':<10} {'|S|':>5} {'density':>8} {'precision':>9} "
           f"{'recall':>7} {'sim (ms)':>9} {'iters':>6}")
@@ -52,4 +63,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(seed=seed_from_argv())

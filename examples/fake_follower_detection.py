@@ -9,13 +9,23 @@ ring directly.
 We synthesise a 30,000-account follow graph, inject a ring of 25 bots
 following 35 customers, and check that PWC's (S, T) pair pinpoints them.
 
-Run:  python examples/fake_follower_detection.py
+Run:  python examples/fake_follower_detection.py [seed]
 """
+
+import sys
 
 import numpy as np
 
 from repro import directed_densest_subgraph
 from repro.graph import planted_st_subgraph
+
+DEFAULT_SEED = 11
+
+
+def seed_from_argv(default: int = DEFAULT_SEED) -> int:
+    """Optional integer argv override, so reruns are reproducible on demand."""
+    arg = sys.argv[1] if len(sys.argv) > 1 else ""
+    return int(arg) if arg.lstrip("+").isdigit() else default
 
 
 def jaccard(found: np.ndarray, truth: np.ndarray) -> float:
@@ -26,7 +36,7 @@ def jaccard(found: np.ndarray, truth: np.ndarray) -> float:
     return len(found_set & truth_set) / len(found_set | truth_set)
 
 
-def main() -> None:
+def main(seed: int = DEFAULT_SEED) -> None:
     graph, bots, customers = planted_st_subgraph(
         n=30_000,
         background_edges=150_000,
@@ -34,9 +44,9 @@ def main() -> None:
         t_size=35,
         block_probability=0.95,
         max_weight=60.0,  # organic accounts: no follower counts near the ring's
-        seed=11,
+        seed=seed,
     )
-    print(f"follow graph: {graph}")
+    print(f"follow graph: {graph} (seed={seed})")
     print(f"injected ring: {bots.size} bots -> {customers.size} customers\n")
 
     result = directed_densest_subgraph(graph, method="pwc", num_threads=32)
@@ -60,4 +70,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(seed=seed_from_argv())

@@ -61,13 +61,13 @@ def directed_demo() -> None:
     print(f"approximation ratio: {ratio:.3f} (guaranteed <= 2)\n")
 
 
-def parallel_demo() -> None:
+def parallel_demo(seed: int = 42) -> None:
     """Simulated thread scaling on a mid-sized power-law graph."""
     from repro.graph import chung_lu_undirected
 
-    graph = chung_lu_undirected(20_000, 120_000, seed=42)
+    graph = chung_lu_undirected(20_000, 120_000, seed=seed)
     print("== Simulated parallel scaling (PKMC) ==")
-    print(f"graph: {graph}")
+    print(f"graph: {graph} (seed={seed})")
     base = None
     for p in (1, 4, 16, 64):
         result = densest_subgraph(graph, num_threads=p)

@@ -1,0 +1,44 @@
+"""Static analysis for the reproduction: determinism lint + race sanitizer.
+
+Two complementary checkers guard the invariants every solver in this
+library leans on (deterministic simulated time, iteration-independent
+``parfor`` bodies):
+
+* :mod:`repro.analysis.engine` — an AST lint engine with project-specific
+  rules (R001–R005, see :mod:`repro.analysis.rules`), exposed on the
+  command line as ``repro-lint`` and run over ``src/repro`` inside the
+  tier-1 test suite (``tests/analysis/test_self_lint.py``);
+* :mod:`repro.analysis.race` — a dynamic parfor race sanitizer enabled via
+  ``SimRuntime(sanitize=True)``, which records per-iteration read/write
+  footprints of shared arrays and reports write-write / read-write
+  conflicts between iterations of a declared parallel loop.
+
+See ``docs/static_analysis.md`` for the full rule catalogue and the
+sanitizer's execution model.
+"""
+
+from __future__ import annotations
+
+from .engine import Finding, LintEngine, Rule, lint_paths, lint_source
+from .race import (
+    Conflict,
+    LoopRaceReport,
+    RaceSanitizer,
+    TrackedArray,
+    declare_order_dependent,
+    is_order_dependent,
+)
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "Conflict",
+    "LoopRaceReport",
+    "RaceSanitizer",
+    "TrackedArray",
+    "declare_order_dependent",
+    "is_order_dependent",
+]

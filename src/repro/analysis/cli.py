@@ -1,0 +1,114 @@
+"""``repro-lint`` — run the project lint rules over sources.
+
+Examples::
+
+    repro-lint src/                      # lint a tree with all rules
+    repro-lint src/ --strict             # non-zero exit on warnings too
+    repro-lint src/repro/core --select R001,R005
+    repro-lint --list-rules              # print the rule catalogue
+
+Exit codes: 0 clean (warnings allowed unless ``--strict``), 1 findings,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .engine import LintEngine
+from .rules import DEFAULT_RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism & API lint for the repro codebase (R001-R005).",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings as well as errors",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _print_rules() -> None:
+    for rule in DEFAULT_RULES:
+        print(f"{rule.rule_id} [{rule.severity:<7}] {rule.title}")
+        print(f"     hint: {rule.fix_hint}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rules()
+        return 0
+    if not args.paths:
+        print("error: no paths given (try `repro-lint src/`)", file=sys.stderr)
+        return 2
+
+    engine = LintEngine(select=_split_ids(args.select), ignore=_split_ids(args.ignore))
+    if not engine.rules:
+        print("error: --select/--ignore left no rules to run", file=sys.stderr)
+        return 2
+    try:
+        findings = engine.lint_paths(args.paths)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+
+    if args.format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"\n{errors} error(s), {warnings} warning(s)")
+        else:
+            print("clean: no findings")
+
+    if errors or (args.strict and warnings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,233 @@
+"""AST lint engine behind ``repro-lint``.
+
+The engine parses each Python file once, runs every registered
+:class:`Rule` (an :class:`ast.NodeVisitor` subclass) over the tree, and
+filters the collected :class:`Finding` objects through the suppression
+comments::
+
+    x = time.time()          # repro-lint: disable=R001
+    # repro-lint: disable-file=R003
+
+A same-line ``disable=`` comment silences the named rules (comma
+separated, or ``all``) for that line only; a ``disable-file=`` comment
+anywhere in the file silences them for the whole file.  Rules live in
+:mod:`repro.analysis.rules`; each carries an id, a severity (``error`` or
+``warning``), and a fix hint that is printed next to the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "LintEngine",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+]
+
+SEVERITIES = ("error", "warning")
+
+_DISABLE_LINE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_DISABLE_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a specific source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    fix_hint: str = ""
+
+    def format(self, show_hint: bool = True) -> str:
+        """Render the finding as a compiler-style one/two-liner."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.severity}] {self.message}"
+        if show_hint and self.fix_hint:
+            text += f"\n    hint: {self.fix_hint}"
+        return text
+
+    def as_dict(self) -> dict:
+        """Return a JSON-serialisable representation."""
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+
+class LintContext:
+    """Per-file state shared by every rule run over that file."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+
+    @property
+    def posix_path(self) -> str:
+        """The file path with forward slashes, for suffix matching."""
+        return self.path.replace("\\", "/")
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for lint rules: one visitor instance per (rule, file).
+
+    Subclasses set the class attributes and call :meth:`report` from their
+    ``visit_*`` methods.  ``severity`` is ``"error"`` (correctness /
+    determinism) or ``"warning"`` (style with teeth); ``fix_hint`` is a
+    one-line remediation shown under each finding.
+    """
+
+    rule_id: str = "R000"
+    title: str = ""
+    severity: str = "error"
+    fix_hint: str = ""
+
+    def __init__(self, context: LintContext):
+        self.context = context
+        self.findings: list[Finding] = []
+
+    def report(
+        self,
+        node: ast.AST,
+        message: str,
+        fix_hint: str | None = None,
+        severity: str | None = None,
+    ) -> None:
+        """Record a finding anchored at ``node``."""
+        self.findings.append(
+            Finding(
+                rule_id=self.rule_id,
+                severity=severity or self.severity,
+                path=self.context.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                fix_hint=fix_hint if fix_hint is not None else self.fix_hint,
+            )
+        )
+
+    def run(self, tree: ast.Module) -> list[Finding]:
+        """Visit the tree and return the findings collected on the way."""
+        self.visit(tree)
+        return self.findings
+
+
+def _parse_rule_list(raw: str) -> set[str]:
+    return {part.strip().upper() for part in raw.split(",") if part.strip()}
+
+
+def _suppressions(lines: Sequence[str]) -> tuple[dict[int, set[str]], set[str]]:
+    """Return (line -> suppressed ids, file-level suppressed ids)."""
+    per_line: dict[int, set[str]] = {}
+    file_level: set[str] = set()
+    for lineno, line in enumerate(lines, start=1):
+        match = _DISABLE_FILE_RE.search(line)
+        if match:
+            file_level |= _parse_rule_list(match.group(1))
+            continue
+        match = _DISABLE_LINE_RE.search(line)
+        if match:
+            per_line.setdefault(lineno, set()).update(_parse_rule_list(match.group(1)))
+    return per_line, file_level
+
+
+def _suppressed(finding: Finding, per_line: dict[int, set[str]], file_level: set[str]) -> bool:
+    if "ALL" in file_level or finding.rule_id.upper() in file_level:
+        return True
+    ids = per_line.get(finding.line)
+    return bool(ids) and ("ALL" in ids or finding.rule_id.upper() in ids)
+
+
+class LintEngine:
+    """Runs a set of rules over sources, files, and directory trees."""
+
+    def __init__(
+        self,
+        rules: Sequence[type[Rule]] | None = None,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ):
+        if rules is None:
+            from .rules import DEFAULT_RULES
+
+            rules = DEFAULT_RULES
+        selected = {r.upper() for r in select} if select else None
+        ignored = {r.upper() for r in ignore} if ignore else set()
+        self.rules: list[type[Rule]] = [
+            rule
+            for rule in rules
+            if (selected is None or rule.rule_id in selected)
+            and rule.rule_id not in ignored
+        ]
+
+    def lint_source(self, source: str, path: str = "<string>") -> list[Finding]:
+        """Lint one source string; a syntax error yields a single E000."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    rule_id="E000",
+                    severity="error",
+                    path=path,
+                    line=error.lineno or 0,
+                    col=error.offset or 0,
+                    message=f"syntax error: {error.msg}",
+                )
+            ]
+        context = LintContext(path, source)
+        findings: list[Finding] = []
+        for rule_cls in self.rules:
+            findings.extend(rule_cls(context).run(tree))
+        per_line, file_level = _suppressions(context.lines)
+        findings = [f for f in findings if not _suppressed(f, per_line, file_level)]
+        findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+        return findings
+
+    def lint_file(self, path: str | Path) -> list[Finding]:
+        """Lint one file on disk."""
+        text = Path(path).read_text(encoding="utf-8")
+        return self.lint_source(text, path=str(path))
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Lint files and (recursively) directories of ``*.py`` files."""
+        findings: list[Finding] = []
+        for path in paths:
+            path = Path(path)
+            if path.is_dir():
+                for file in sorted(path.rglob("*.py")):
+                    if any(part in _SKIP_DIR_NAMES or part.endswith(".egg-info")
+                           for part in file.parts):
+                        continue
+                    findings.extend(self.lint_file(file))
+            else:
+                findings.extend(self.lint_file(path))
+        return findings
+
+
+def lint_source(source: str, path: str = "<string>", **engine_kwargs) -> list[Finding]:
+    """Convenience wrapper: lint one source string with the default rules."""
+    return LintEngine(**engine_kwargs).lint_source(source, path=path)
+
+
+def lint_paths(paths: Iterable[str | Path], **engine_kwargs) -> list[Finding]:
+    """Convenience wrapper: lint files/directories with the default rules."""
+    return LintEngine(**engine_kwargs).lint_paths(paths)

@@ -1,0 +1,291 @@
+"""Parfor race sanitizer: dynamic read/write-set checking for declared loops.
+
+The simulated runtime executes parallel loops serially, which means a loop
+whose iterations are *not* independent still produces an answer — often a
+plausible one (a racy h-index sweep still converges, just in a different
+number of iterations than any real parallel execution would take).  This
+module provides the opt-in checking mode behind ``SimRuntime(sanitize=True)``:
+
+* each shared array handed to a loop body is wrapped in a
+  :class:`TrackedArray` proxy that records the flat cell indices every
+  ``__getitem__`` / ``__setitem__`` touches;
+* after the loop, the per-iteration footprints are crossed: a cell written
+  by two different iterations is a **write-write** conflict, a cell written
+  by one iteration and read by another is a **read-write** conflict;
+* loops that are *intentionally* order-dependent (Gauss–Seidel sweeps such
+  as :func:`repro.core.hindex.inplace_sweep`) declare it with the
+  :func:`declare_order_dependent` annotation; their conflicts are recorded
+  in the report but not raised as races.
+
+The model is a dynamic, single-schedule analogue of what a real OpenMP
+race detector (Archer/TSan) observes: it proves the presence of an
+iteration-ordering hazard, not its absence on untested inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..errors import ParforRaceError
+
+__all__ = [
+    "Conflict",
+    "LoopRaceReport",
+    "RaceSanitizer",
+    "TrackedArray",
+    "declare_order_dependent",
+    "is_order_dependent",
+]
+
+_ORDER_DEPENDENT_ATTR = "__repro_order_dependent__"
+
+# Listing every conflicting cell of a genuinely racy loop can be O(n); the
+# report keeps a representative sample and the exact total count.
+_MAX_RECORDED_CONFLICTS = 64
+
+
+def declare_order_dependent(func: Callable) -> Callable:
+    """Annotate a loop body whose iterations intentionally observe earlier ones.
+
+    Use for Gauss–Seidel-style sweeps where later iterations are *meant* to
+    read values written by earlier ones.  The sanitizer still records the
+    read/write overlap for such loops but reports them as declared
+    order-dependent instead of racy.
+    """
+    setattr(func, _ORDER_DEPENDENT_ATTR, True)
+    return func
+
+
+def is_order_dependent(func: Callable) -> bool:
+    """True when ``func`` carries the :func:`declare_order_dependent` mark."""
+    return bool(getattr(func, _ORDER_DEPENDENT_ATTR, False))
+
+
+class TrackedArray:
+    """Indexing proxy over a NumPy array that records touched flat cells.
+
+    Reads and writes go straight through to the wrapped array (so the
+    kernel's results are unchanged); the proxy only *observes*.  Whole-array
+    conversions (``np.asarray``, arithmetic that coerces the proxy) count as
+    a read of every cell, which is the conservative interpretation.
+    """
+
+    __slots__ = ("_array", "_name", "_recorder", "_flat_ids")
+
+    def __init__(self, array: np.ndarray, name: str, recorder: "_AccessRecorder"):
+        self._array = array
+        self._name = name
+        self._recorder = recorder
+        self._flat_ids = np.arange(array.size).reshape(array.shape)
+
+    # -- observation helpers -------------------------------------------
+    def _cells(self, key) -> np.ndarray:
+        if isinstance(key, TrackedArray):
+            key = key.__array__()
+        return np.atleast_1d(np.asarray(self._flat_ids[key])).ravel()
+
+    # -- the tracked surface -------------------------------------------
+    def __getitem__(self, key):
+        self._recorder.record_read(self._name, self._cells(key))
+        if isinstance(key, TrackedArray):
+            key = key.__array__()
+        return self._array[key]
+
+    def __setitem__(self, key, value) -> None:
+        self._recorder.record_write(self._name, self._cells(key))
+        if isinstance(key, TrackedArray):
+            key = key.__array__()
+        if isinstance(value, TrackedArray):
+            value = value.__array__()
+        self._array[key] = value
+
+    def __array__(self, dtype=None, copy=None):
+        self._recorder.record_read(self._name, self._flat_ids.ravel())
+        if dtype is None:
+            return self._array
+        return self._array.astype(dtype)
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the wrapped array."""
+        return self._array.shape
+
+    @property
+    def size(self) -> int:
+        """Element count of the wrapped array."""
+        return self._array.size
+
+    @property
+    def dtype(self):
+        """Dtype of the wrapped array."""
+        return self._array.dtype
+
+    def __repr__(self) -> str:
+        return f"TrackedArray({self._name!r}, shape={self._array.shape})"
+
+
+class _AccessRecorder:
+    """Accumulates one iteration's read/write sets across all shared arrays."""
+
+    def __init__(self) -> None:
+        self.reads: dict[str, set[int]] = {}
+        self.writes: dict[str, set[int]] = {}
+
+    def record_read(self, name: str, cells: np.ndarray) -> None:
+        self.reads.setdefault(name, set()).update(int(c) for c in cells)
+
+    def record_write(self, name: str, cells: np.ndarray) -> None:
+        self.writes.setdefault(name, set()).update(int(c) for c in cells)
+
+    def snapshot_and_reset(self) -> tuple[dict[str, set[int]], dict[str, set[int]]]:
+        reads, writes = self.reads, self.writes
+        self.reads, self.writes = {}, {}
+        return reads, writes
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """One conflicting cell between two iterations of a declared loop."""
+
+    array: str
+    cell: int
+    kind: str  # "write-write" or "read-write"
+    iterations: tuple[int, int]
+
+    def __str__(self) -> str:
+        i, j = self.iterations
+        return (
+            f"{self.kind} on {self.array}[{self.cell}] between iterations "
+            f"{i} and {j}"
+        )
+
+
+@dataclass
+class LoopRaceReport:
+    """Sanitizer verdict for one declared parallel loop."""
+
+    label: str
+    num_iterations: int
+    order_dependent: bool
+    conflicts: list[Conflict] = field(default_factory=list)
+    total_conflicts: int = 0
+
+    @property
+    def is_racy(self) -> bool:
+        """True when conflicts exist and the loop was not declared order-dependent."""
+        return self.total_conflicts > 0 and not self.order_dependent
+
+    @property
+    def clean(self) -> bool:
+        """True when no cross-iteration conflicts were observed at all."""
+        return self.total_conflicts == 0
+
+    def summary(self) -> str:
+        """One line suitable for CLI output."""
+        if self.clean:
+            verdict = "clean"
+        elif self.order_dependent:
+            verdict = f"order-dependent (declared; {self.total_conflicts} overlaps)"
+        else:
+            verdict = f"RACE ({self.total_conflicts} conflicts)"
+        text = f"{self.label}: {self.num_iterations} iterations, {verdict}"
+        if self.is_racy and self.conflicts:
+            text += f" e.g. {self.conflicts[0]}"
+        return text
+
+
+def _find_conflicts(
+    footprints: list[tuple[dict[str, set[int]], dict[str, set[int]]]],
+) -> tuple[list[Conflict], int]:
+    """Cross per-iteration footprints; return (sample, total count)."""
+    writers: dict[tuple[str, int], list[int]] = {}
+    readers: dict[tuple[str, int], list[int]] = {}
+    for iteration, (reads, writes) in enumerate(footprints):
+        for name, cells in writes.items():
+            for cell in cells:
+                writers.setdefault((name, cell), []).append(iteration)
+        for name, cells in reads.items():
+            for cell in cells:
+                readers.setdefault((name, cell), []).append(iteration)
+
+    conflicts: list[Conflict] = []
+    total = 0
+    for (name, cell), write_iters in sorted(writers.items()):
+        if len(write_iters) > 1:
+            total += 1
+            if len(conflicts) < _MAX_RECORDED_CONFLICTS:
+                conflicts.append(
+                    Conflict(name, cell, "write-write", (write_iters[0], write_iters[1]))
+                )
+            continue
+        writer = write_iters[0]
+        other_readers = [i for i in readers.get((name, cell), []) if i != writer]
+        if other_readers:
+            total += 1
+            if len(conflicts) < _MAX_RECORDED_CONFLICTS:
+                conflicts.append(
+                    Conflict(name, cell, "read-write", (writer, other_readers[0]))
+                )
+    return conflicts, total
+
+
+class RaceSanitizer:
+    """Runs declared loop bodies under tracking and accumulates reports.
+
+    ``raise_on_race=True`` (the default) turns a racy loop into a
+    :class:`~repro.errors.ParforRaceError` as soon as it completes;
+    with ``False`` the reports are only collected for inspection via
+    :attr:`reports`.
+    """
+
+    def __init__(self, raise_on_race: bool = True):
+        self.raise_on_race = raise_on_race
+        self.reports: list[LoopRaceReport] = []
+
+    def run_loop(
+        self,
+        label: str,
+        num_iterations: int,
+        body: Callable,
+        shared: Mapping[str, np.ndarray],
+        order_dependent: bool = False,
+    ) -> LoopRaceReport:
+        """Execute ``body(i, **shared)`` for each iteration under tracking.
+
+        ``shared`` maps keyword names to the NumPy arrays the body may touch;
+        the body receives :class:`TrackedArray` proxies under the same names
+        and its writes land in the caller's arrays as usual.
+        """
+        recorder = _AccessRecorder()
+        proxies = {
+            name: TrackedArray(np.asarray(array), name, recorder)
+            for name, array in shared.items()
+        }
+        footprints: list[tuple[dict[str, set[int]], dict[str, set[int]]]] = []
+        for iteration in range(int(num_iterations)):
+            body(iteration, **proxies)
+            footprints.append(recorder.snapshot_and_reset())
+
+        conflicts, total = _find_conflicts(footprints)
+        report = LoopRaceReport(
+            label=label,
+            num_iterations=int(num_iterations),
+            order_dependent=order_dependent,
+            conflicts=conflicts,
+            total_conflicts=total,
+        )
+        self.reports.append(report)
+        if report.is_racy and self.raise_on_race:
+            raise ParforRaceError(report)
+        return report
+
+    @property
+    def racy_reports(self) -> list[LoopRaceReport]:
+        """Reports of loops that conflicted without declaring order dependence."""
+        return [r for r in self.reports if r.is_racy]

@@ -1,0 +1,32 @@
+"""Project-specific lint rules (R001–R005).
+
+Each rule is a small :class:`~repro.analysis.engine.Rule` visitor with an
+id, severity, and fix hint; ``DEFAULT_RULES`` is the registry the engine
+and the ``repro-lint`` CLI load.  The catalogue, with rationale and
+examples, is documented in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from .csr_mutation import CsrMutationRule
+from .determinism import DeterminismRule
+from .docstrings import PublicDocstringRule
+from .exceptions import ExceptionHygieneRule
+from .float_compare import FloatDensityCompareRule
+
+DEFAULT_RULES = (
+    DeterminismRule,
+    ExceptionHygieneRule,
+    PublicDocstringRule,
+    FloatDensityCompareRule,
+    CsrMutationRule,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "DeterminismRule",
+    "ExceptionHygieneRule",
+    "PublicDocstringRule",
+    "FloatDensityCompareRule",
+    "CsrMutationRule",
+]

@@ -1,0 +1,110 @@
+"""R005 — CSR buffers (``indptr`` / ``indices``) are frozen outside the builder.
+
+:class:`~repro.graph.undirected.UndirectedGraph` and
+:class:`~repro.graph.directed.DirectedGraph` are conceptually immutable:
+algorithms that peel vertices keep their own alive-masks instead of
+mutating the shared CSR arrays, which is what makes it safe for the
+simulated parallel kernels (and the race sanitizer) to treat a graph as a
+read-only shared structure.  Only ``graph/builder.py`` — and the graph
+classes' own constructors (``self.indptr = ...``) — may write these
+buffers.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["CsrMutationRule"]
+
+_FROZEN_ATTRS = {"indptr", "indices"}
+
+# ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = {"fill", "itemset", "partition", "put", "resize", "sort", "setfield"}
+
+# Files allowed to construct / rewrite CSR buffers wholesale.
+_EXEMPT_SUFFIXES = ("graph/builder.py",)
+
+
+def _frozen_attribute(node: ast.expr) -> ast.Attribute | None:
+    """Return the node if it is an ``<expr>.indptr`` / ``<expr>.indices``."""
+    if isinstance(node, ast.Attribute) and node.attr in _FROZEN_ATTRS:
+        return node
+    return None
+
+
+def _base_is_self(node: ast.Attribute) -> bool:
+    return isinstance(node.value, ast.Name) and node.value.id == "self"
+
+
+class CsrMutationRule(Rule):
+    """R005: flag writes to frozen graph CSR buffers."""
+
+    rule_id = "R005"
+    title = "no mutation of frozen graph CSR buffers outside graph/builder.py"
+    severity = "error"
+    fix_hint = (
+        "graphs are immutable: keep a per-algorithm alive-mask / degree copy, "
+        "or build a new graph via repro.graph.builder"
+    )
+
+    def _exempt(self) -> bool:
+        return self.context.posix_path.endswith(_EXEMPT_SUFFIXES)
+
+    def _check_store_target(self, target: ast.expr, *, allow_self_rebind: bool) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store_target(element, allow_self_rebind=allow_self_rebind)
+            return
+        if isinstance(target, ast.Starred):
+            self._check_store_target(target.value, allow_self_rebind=allow_self_rebind)
+            return
+        if isinstance(target, ast.Subscript):
+            attr = _frozen_attribute(target.value)
+            if attr is not None:
+                self.report(
+                    target,
+                    f"element write into frozen CSR buffer `.{attr.attr}`",
+                )
+            return
+        attr = _frozen_attribute(target)
+        if attr is not None and not (allow_self_rebind and _base_is_self(attr)):
+            self.report(
+                target,
+                f"rebinding of frozen CSR buffer `.{attr.attr}` outside the "
+                "owning constructor",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Check plain assignment targets."""
+        if not self._exempt():
+            for target in node.targets:
+                self._check_store_target(target, allow_self_rebind=True)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        """Check annotated assignment targets."""
+        if not self._exempt():
+            self._check_store_target(node.target, allow_self_rebind=True)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        """Check augmented assignments (always a buffer mutation)."""
+        if not self._exempt():
+            # In-place ops mutate the buffer even when the target is `self.x`.
+            self._check_store_target(node.target, allow_self_rebind=False)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Check method calls that mutate an ndarray receiver in place."""
+        if not self._exempt() and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS:
+                attr = _frozen_attribute(node.func.value)
+                if attr is not None:
+                    self.report(
+                        node,
+                        f"in-place `{node.func.attr}()` on frozen CSR buffer "
+                        f"`.{attr.attr}`",
+                    )
+        self.generic_visit(node)

@@ -1,0 +1,66 @@
+"""R003 — every public name in ``__all__`` carries a docstring.
+
+``__all__`` is this project's public-API declaration; tests and docs are
+generated against it, so an exported function or class without a docstring
+is an undocumented API commitment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["PublicDocstringRule"]
+
+
+def _module_all(tree: ast.Module) -> set[str]:
+    """Extract the literal string entries of a module-level ``__all__``."""
+    exported: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AugAssign):
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            continue
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    exported.add(element.value)
+    return exported
+
+
+class PublicDocstringRule(Rule):
+    """R003: exported functions/classes must have docstrings."""
+
+    rule_id = "R003"
+    title = "public API (names in __all__) must be documented"
+    severity = "warning"
+    fix_hint = (
+        "add a docstring stating what the function/class computes and any "
+        "guarantee it carries (approximation ratio, complexity, determinism)"
+    )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        """Resolve ``__all__`` and check every exported definition."""
+        exported = _module_all(node)
+        if not exported:
+            return
+        for stmt in node.body:
+            if not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if stmt.name in exported and not ast.get_docstring(stmt):
+                kind = "class" if isinstance(stmt, ast.ClassDef) else "function"
+                self.report(
+                    stmt,
+                    f"public {kind} {stmt.name!r} is exported via __all__ but has "
+                    "no docstring",
+                )

@@ -1,0 +1,81 @@
+"""R002 — no bare ``except`` / blanket ``except Exception`` / silent ``pass``.
+
+The library's error contract (``errors.py``) is that deliberate failures
+derive from :class:`~repro.errors.ReproError` so callers can catch library
+errors without swallowing programming errors.  Blanket handlers and silent
+``pass`` bodies defeat that and hide the very bugs the determinism rules
+exist to surface.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["ExceptionHygieneRule"]
+
+_BLANKET_TYPES = {"Exception", "BaseException"}
+
+
+def _caught_names(handler_type: ast.expr | None) -> list[str]:
+    """Return the exception class names a handler catches (best effort)."""
+    if handler_type is None:
+        return []
+    nodes = handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    names = []
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.append(node.attr)
+    return names
+
+
+def _is_silent_body(body: list[ast.stmt]) -> bool:
+    """True when the handler body does nothing at all."""
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or Ellipsis
+        return False
+    return True
+
+
+class ExceptionHygieneRule(Rule):
+    """R002: flag bare excepts, blanket Exception handlers, silent passes."""
+
+    rule_id = "R002"
+    title = "no bare except / blanket Exception / silently swallowed errors"
+    severity = "error"
+    fix_hint = (
+        "catch the narrowest ReproError subclass that applies, and handle or "
+        "re-raise it; never swallow an exception with a bare pass"
+    )
+
+    def visit_Try(self, node: ast.Try) -> None:
+        """Inspect each handler of a try statement."""
+        for handler in node.handlers:
+            silent = _is_silent_body(handler.body)
+            if handler.type is None:
+                self.report(
+                    handler,
+                    "bare `except:` catches everything, including KeyboardInterrupt"
+                    + (" and silently discards it" if silent else ""),
+                )
+                continue
+            blanket = [n for n in _caught_names(handler.type) if n in _BLANKET_TYPES]
+            if blanket:
+                self.report(
+                    handler,
+                    f"blanket `except {blanket[0]}` hides programming errors"
+                    + (" and silently discards them" if silent else ""),
+                )
+            elif silent:
+                self.report(
+                    handler,
+                    "exception handler silently swallows the error (body is only "
+                    "`pass`)",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,66 @@
+"""R004 — no float ``==`` / ``!=`` on densities.
+
+Densities in this library are ratios of integer counts (|E(S)|/|S|,
+|E(S,T)|/sqrt(|S||T|)) computed in floating point; two mathematically
+equal densities routinely differ in the last ulp once a sqrt or a division
+is involved.  Exact comparisons on them silently flip branch decisions
+between platforms, which is precisely the class of nondeterminism this
+analyzer exists to remove.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["FloatDensityCompareRule"]
+
+_DENSITY_MARKERS = ("density", "densities", "rho")
+
+
+def _mentions_density(node: ast.expr) -> bool:
+    """True when the expression reads like a density value."""
+    for sub in ast.walk(node):
+        name: str | None = None
+        if isinstance(sub, ast.Name):
+            name = sub.id
+        elif isinstance(sub, ast.Attribute):
+            name = sub.attr
+        elif isinstance(sub, ast.Call):
+            func = sub.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+        if name and any(marker in name.lower() for marker in _DENSITY_MARKERS):
+            return True
+    return False
+
+
+class FloatDensityCompareRule(Rule):
+    """R004: flag exact equality comparisons involving density values."""
+
+    rule_id = "R004"
+    title = "no float == / != comparisons on densities"
+    severity = "warning"
+    fix_hint = (
+        "compare densities with math.isclose(a, b, rel_tol=...) or an explicit "
+        "epsilon (tests: pytest.approx); exact float equality is platform-"
+        "dependent"
+    )
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        """Check each comparison chain for density == / != operands."""
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _mentions_density(left) or _mentions_density(right):
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                self.report(
+                    node,
+                    f"exact float comparison `{symbol}` on a density value",
+                )
+                break
+        self.generic_visit(node)

@@ -100,9 +100,12 @@ def densest_subgraph(
         raise AlgorithmError(
             f"unknown UDS method {method!r}; choose from {sorted(UDS_METHODS)}"
         )
+    runtime = options.pop("runtime", None)
     if method in _NO_RUNTIME_METHODS:
+        # Serial solvers take no runtime; a caller-provided one (e.g. the
+        # CLI's --sanitize) is accepted and simply has nothing to observe.
         return solver(graph, **options)
-    runtime = options.pop("runtime", None) or SimRuntime(num_threads=num_threads)
+    runtime = runtime or SimRuntime(num_threads=num_threads)
     return solver(graph, runtime=runtime, **options)
 
 
@@ -123,7 +126,10 @@ def directed_densest_subgraph(
         raise AlgorithmError(
             f"unknown DDS method {method!r}; choose from {sorted(DDS_METHODS)}"
         )
+    runtime = options.pop("runtime", None)
     if method in _NO_RUNTIME_METHODS:
+        # Serial solvers take no runtime; a caller-provided one (e.g. the
+        # CLI's --sanitize) is accepted and simply has nothing to observe.
         return solver(graph, **options)
-    runtime = options.pop("runtime", None) or SimRuntime(num_threads=num_threads)
+    runtime = runtime or SimRuntime(num_threads=num_threads)
     return solver(graph, runtime=runtime, **options)

@@ -17,6 +17,7 @@ from .api import DDS_METHODS, UDS_METHODS, densest_subgraph, directed_densest_su
 from .errors import ReproError
 from .graph.components import densest_component
 from .graph.io import read_directed_edgelist, read_undirected_edgelist
+from .runtime.simruntime import SimRuntime
 
 __all__ = ["main"]
 
@@ -55,6 +56,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE",
         help="extra algorithm option (repeatable), e.g. epsilon=0.5",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run kernels under the parfor race sanitizer "
+        "(repro.analysis.race) and print a per-loop verdict",
     )
     parser.add_argument(
         "--top-component",
@@ -97,8 +104,12 @@ def _format_members(labels: list, ids, limit: int) -> str:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    runtime = None
     try:
         options = _parse_options(args.option)
+        if args.sanitize:
+            runtime = SimRuntime(num_threads=args.threads, sanitize=True)
+            options["runtime"] = runtime
         if args.directed:
             graph, labels = read_directed_edgelist(args.path)
             method = args.method or "pwc"
@@ -136,6 +147,14 @@ def main(argv: list[str] | None = None) -> int:
         if result.simulated_seconds:
             print(f"simulated time ({args.threads} threads): "
                   f"{result.simulated_seconds:.6g} s")
+        if runtime is not None and runtime.sanitizer is not None:
+            reports = runtime.sanitizer.reports
+            if reports:
+                for report in reports:
+                    print(f"sanitizer: {report.summary()}")
+            else:
+                print("sanitizer: no instrumented parallel loops observed "
+                      "for this method")
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -18,9 +18,15 @@ sweep in a caller-chosen order, used by the update-order ablation.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
+from ..analysis.race import declare_order_dependent
 from ..graph.undirected import UndirectedGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.simruntime import SimRuntime
 
 __all__ = [
     "h_index",
@@ -47,17 +53,37 @@ def h_index(values: np.ndarray) -> int:
     return int(satisfied.sum())
 
 
-def synchronous_sweep(graph: UndirectedGraph, h: np.ndarray) -> np.ndarray:
+def synchronous_sweep(
+    graph: UndirectedGraph, h: np.ndarray, runtime: "SimRuntime | None" = None
+) -> np.ndarray:
     """One Jacobi sweep: return new h-values computed from the old ones.
 
     Fully vectorised: neighbour values are gathered through the CSR arrays,
     sorted descending within each adjacency segment, and the h-index of
     each segment is the count of positions i (1-based) whose value is >= i
     (a prefix property, because the segment is non-increasing).
+
+    When ``runtime`` is a sanitizing :class:`~repro.runtime.simruntime.
+    SimRuntime`, the sweep instead executes its per-vertex kernel one
+    iteration at a time under the race sanitizer (reads from the old array,
+    writes to a fresh one — iteration-independent, so it always comes back
+    clean).  Cost accounting is unaffected either way; callers declare the
+    sweep's cost with :meth:`SimRuntime.parfor` as before.
     """
     n = graph.num_vertices
     if n == 0:
         return h.copy()
+    if runtime is not None and runtime.sanitize:
+        indptr, indices = graph.indptr, graph.indices
+        new_h = h.copy()
+
+        def jacobi_body(v, old, new):
+            new[v] = h_index(old[indices[indptr[v]:indptr[v + 1]]])
+
+        runtime.observe_parfor(
+            n, jacobi_body, {"old": h, "new": new_h}, label="synchronous_sweep"
+        )
+        return new_h
     indptr = graph.indptr
     degrees = np.diff(indptr)
     rows = np.repeat(np.arange(n), degrees)
@@ -71,15 +97,36 @@ def synchronous_sweep(graph: UndirectedGraph, h: np.ndarray) -> np.ndarray:
 
 
 def inplace_sweep(
-    graph: UndirectedGraph, h: np.ndarray, order: np.ndarray | None = None
+    graph: UndirectedGraph,
+    h: np.ndarray,
+    order: np.ndarray | None = None,
+    runtime: "SimRuntime | None" = None,
 ) -> np.ndarray:
     """One Gauss–Seidel sweep updating ``h`` in place, in ``order``.
 
     Later updates observe earlier ones, which usually converges in fewer
     sweeps (the paper's Fig. 2 walkthrough updates in non-ascending degree
     order).  Returns ``h`` for convenience.
+
+    This sweep is *intentionally* order-dependent — iterations read cells
+    that earlier iterations wrote — so its sanitizer kernel carries the
+    :func:`~repro.analysis.race.declare_order_dependent` annotation: under
+    ``SimRuntime(sanitize=True)`` the read/write overlap is recorded in the
+    loop report but not flagged as a race.
     """
     vertices = order if order is not None else np.arange(graph.num_vertices)
+    if runtime is not None and runtime.sanitize:
+        indptr, indices = graph.indptr, graph.indices
+
+        @declare_order_dependent
+        def gauss_seidel_body(i, h):
+            v = int(vertices[i])
+            h[v] = h_index(h[indices[indptr[v]:indptr[v + 1]]])
+
+        runtime.observe_parfor(
+            len(vertices), gauss_seidel_body, {"h": h}, label="inplace_sweep"
+        )
+        return h
     for v in vertices:
         h[v] = h_index(h[graph.neighbors(int(v))])
     return h

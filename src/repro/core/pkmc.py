@@ -38,12 +38,17 @@ def _sweep_costs(graph: UndirectedGraph) -> np.ndarray:
 
 
 def _core_density(graph: UndirectedGraph, vertices: np.ndarray) -> float:
+    """Density |E(S)|/|S| of the subgraph induced by ``vertices``."""
+    if vertices.size == 0:
+        # Guard before building the membership mask: the full edge scan
+        # below is O(m) and pointless for an empty vertex set.
+        return 0.0
     member = np.zeros(graph.num_vertices, dtype=bool)
     member[vertices] = True
     heads = np.repeat(np.arange(graph.num_vertices), graph.degrees())
     mask = member[heads] & member[graph.indices] & (heads < graph.indices)
     edges_inside = int(np.count_nonzero(mask))
-    return edges_inside / vertices.size if vertices.size else 0.0
+    return edges_inside / vertices.size
 
 
 def pkmc(
@@ -63,7 +68,11 @@ def pkmc(
     runtime:
         Optional :class:`SimRuntime` used to account the simulated parallel
         cost of every sweep (one ``parfor`` over all vertices per sweep plus
-        a parallel reduction for ``h_max`` and its multiplicity).
+        a parallel reduction for ``h_max`` and its multiplicity).  With
+        ``SimRuntime(sanitize=True)`` the sweeps additionally execute their
+        per-vertex kernels under the parfor race sanitizer (the
+        ``degree_order`` sweep is annotated order-dependent, so both modes
+        pass clean).
     early_stop:
         Apply Theorem 1.  Disabling it makes PKMC behave exactly like Local
         followed by a max-extraction, which is the paper's principal
@@ -104,9 +113,9 @@ def pkmc(
         while iterations < limit:
             rt.parfor(_sweep_costs(graph))
             if sweep == "synchronous":
-                new_h = synchronous_sweep(graph, h)
+                new_h = synchronous_sweep(graph, h, runtime=rt)
             else:
-                new_h = inplace_sweep(graph, h.copy(), order)
+                new_h = inplace_sweep(graph, h.copy(), order, runtime=rt)
             changed = bool(np.any(new_h < h))
             # Parallel reduction for h_max and its multiplicity (lines 10-11).
             rt.parfor(np.full(graph.num_vertices, 1.0))

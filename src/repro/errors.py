@@ -53,6 +53,22 @@ class SimTimeLimitExceeded(SimulationError):
         self.limit = limit
 
 
+class ParforRaceError(SimulationError):
+    """The race sanitizer observed a cross-iteration conflict in a parfor.
+
+    Raised by :class:`repro.analysis.race.RaceSanitizer` (enabled through
+    ``SimRuntime(sanitize=True)``) when two iterations of a declared
+    parallel loop touch the same shared-array cell and at least one of
+    them writes it, without the loop being annotated as intentionally
+    order-dependent.  Carries the full :class:`LoopRaceReport` as
+    ``report``.
+    """
+
+    def __init__(self, report):
+        super().__init__(f"parfor race detected: {report.summary()}")
+        self.report = report
+
+
 class SimMemoryLimitExceeded(SimulationError):
     """The simulated peak memory passed the configured budget.
 

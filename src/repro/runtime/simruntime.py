@@ -44,9 +44,14 @@ class SimRuntime:
         cost_model: CostModel | None = None,
         time_limit: float | None = None,
         memory_limit_bytes: float | None = None,
+        sanitize: bool = False,
     ):
         if num_threads < 1:
             raise SimulationError("num_threads must be >= 1")
+        if time_limit is not None and time_limit < 0:
+            raise SimulationError("time_limit must be non-negative")
+        if memory_limit_bytes is not None and memory_limit_bytes < 0:
+            raise SimulationError("memory_limit_bytes must be non-negative")
         self.num_threads = num_threads
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.time_limit = time_limit
@@ -55,6 +60,15 @@ class SimRuntime:
         self._now = 0.0
         self._current_memory = 0
         self._in_region = False
+        if sanitize:
+            # Imported lazily: repro.analysis is a leaf package and pulling
+            # it in unconditionally would make every solver import the lint
+            # machinery.
+            from ..analysis.race import RaceSanitizer
+
+            self.sanitizer: "RaceSanitizer | None" = RaceSanitizer()
+        else:
+            self.sanitizer = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -65,6 +79,13 @@ class SimRuntime:
         return self._now
 
     def _advance(self, delta: float) -> None:
+        """Advance the clock; enforce the time budget *strictly*.
+
+        The boundary is deliberately ``>``: a run whose simulated time lands
+        exactly on ``time_limit`` is within budget (the paper's 10^5-second
+        cutoff reports DNF only for runs that *exceed* the wall), so
+        reaching the limit to the last femtosecond does not raise.
+        """
         if delta < 0:
             raise SimulationError("cannot advance the clock backwards")
         self._now += delta
@@ -81,6 +102,12 @@ class SimRuntime:
         Loops issued inside the region skip their per-loop spawn cost; the
         team is created once at region entry, as with ``#pragma omp
         parallel`` enclosing several ``for`` loops.
+
+        Regions may nest (OpenMP nested parallelism): every entry charges
+        its own spawn cost, and leaving an inner region restores the outer
+        region's state rather than ending it — misuse such as closing an
+        inner region never silently re-enables per-loop spawn charging for
+        the enclosing one.
         """
         spawn = self.cost_model.spawn_seconds(self.num_threads)
         self.metrics.breakdown.spawn += spawn
@@ -144,6 +171,58 @@ class SimRuntime:
     def par_tasks(self, task_costs: np.ndarray, atomic_ops: int = 0) -> float:
         """Account a task-pool execution (used by PXY's per-x jobs)."""
         return self.parfor(task_costs, schedule="tasks", atomic_ops=atomic_ops)
+
+    # ------------------------------------------------------------------
+    # Race sanitizer hook
+    # ------------------------------------------------------------------
+    @property
+    def sanitize(self) -> bool:
+        """True when this runtime runs kernels under the race sanitizer."""
+        return self.sanitizer is not None
+
+    def observe_parfor(
+        self,
+        num_iterations: int,
+        body,
+        shared,
+        label: str | None = None,
+        order_dependent: bool | None = None,
+    ):
+        """Execute a declared parallel loop body iteration by iteration.
+
+        This is the *execution* counterpart of :meth:`parfor`, which only
+        does cost accounting: kernels that want their per-iteration
+        read/write behaviour checked route their loop through here (and
+        still declare the loop's cost with :meth:`parfor` as usual — this
+        method charges nothing).
+
+        ``body(i, **shared)`` is called for ``i in range(num_iterations)``
+        with ``shared`` mapping names to NumPy arrays.  Without
+        ``sanitize=True`` the body runs directly on the raw arrays and
+        ``None`` is returned.  Under the sanitizer the arrays are wrapped
+        in tracking proxies, cross-iteration conflicts are checked when the
+        loop ends, and the :class:`~repro.analysis.race.LoopRaceReport` is
+        returned — raising :class:`~repro.errors.ParforRaceError` if the
+        loop races without being annotated.
+
+        ``order_dependent`` defaults to the body's
+        :func:`~repro.analysis.race.declare_order_dependent` annotation.
+        """
+        if self.sanitizer is None:
+            for iteration in range(int(num_iterations)):
+                body(iteration, **shared)
+            return None
+        if order_dependent is None:
+            from ..analysis.race import is_order_dependent
+
+            order_dependent = is_order_dependent(body)
+        return self.sanitizer.run_loop(
+            label or getattr(body, "__name__", "parfor"),
+            int(num_iterations),
+            body,
+            shared,
+            order_dependent=order_dependent,
+        )
 
     def charge_serial(self, units: float) -> float:
         """Account serial work of ``units`` work units; return the seconds."""

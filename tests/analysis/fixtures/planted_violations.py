@@ -1,0 +1,67 @@
+"""Fixture with one deliberate violation of every lint rule (R001-R005).
+
+This file is never imported; ``tests/analysis/test_rules.py`` lints it and
+asserts every planted violation is detected with the right rule id and
+line number.  Line positions matter: keep the ``PLANTED`` map in the test
+in sync when editing.
+"""
+
+import random
+import time
+
+import numpy as np
+
+__all__ = ["undocumented_public_function"]
+
+
+def wall_clock_now():
+    """R001: wall clock."""
+    return time.time()
+
+
+def unseeded_rng():
+    """R001: unseeded numpy generator and legacy global RNG."""
+    rng = np.random.default_rng()
+    return rng.random() + np.random.rand()
+
+
+def global_random():
+    """R001: stdlib global RNG."""
+    return random.random()
+
+
+def swallow_everything():
+    """R002: blanket handler with a silent pass."""
+    try:
+        return 1 / 0
+    except Exception:
+        pass
+
+
+def bare_handler():
+    """R002: bare except."""
+    try:
+        return int("x")
+    except:
+        return None
+
+
+def undocumented_public_function():
+    return 42
+
+
+def compare_densities(result, expected):
+    """R004: exact float equality on densities."""
+    return result.density == expected.density
+
+
+def mutate_csr(graph):
+    """R005: writes into frozen CSR buffers."""
+    graph.indptr[0] = 1
+    graph.indices.sort()
+    graph.indices = np.arange(3)
+
+
+def suppressed_wall_clock():
+    """Suppression check: this violation must NOT be reported."""
+    return time.monotonic()  # repro-lint: disable=R001

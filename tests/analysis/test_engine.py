@@ -1,0 +1,129 @@
+"""Engine mechanics: suppressions, selection, syntax errors, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis import LintEngine, lint_source
+from repro.analysis.cli import main as lint_main
+from repro.analysis.rules import DEFAULT_RULES
+
+RACY_SOURCE = "import time\nx = time.time()\n"
+
+
+class TestSuppressions:
+    def test_same_line_disable(self):
+        source = "import time\nx = time.time()  # repro-lint: disable=R001\n"
+        assert lint_source(source) == []
+
+    def test_same_line_disable_all(self):
+        source = "import time\nx = time.time()  # repro-lint: disable=all\n"
+        assert lint_source(source) == []
+
+    def test_disable_on_other_line_does_not_leak(self):
+        source = (
+            "import time\n"
+            "y = 1  # repro-lint: disable=R001\n"
+            "x = time.time()\n"
+        )
+        assert [f.rule_id for f in lint_source(source)] == ["R001"]
+
+    def test_file_level_disable(self):
+        source = (
+            "# repro-lint: disable-file=R001\n"
+            "import time\n"
+            "x = time.time()\n"
+            "y = time.monotonic()\n"
+        )
+        assert lint_source(source) == []
+
+    def test_disable_wrong_rule_keeps_finding(self):
+        source = "import time\nx = time.time()  # repro-lint: disable=R005\n"
+        assert [f.rule_id for f in lint_source(source)] == ["R001"]
+
+
+class TestEngine:
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n")
+        assert len(findings) == 1
+        assert findings[0].rule_id == "E000"
+        assert findings[0].severity == "error"
+
+    def test_select_restricts_rules(self):
+        engine = LintEngine(select=["R001"])
+        assert [r.rule_id for r in engine.rules] == ["R001"]
+
+    def test_ignore_removes_rules(self):
+        engine = LintEngine(ignore=["R003", "R004"])
+        assert {r.rule_id for r in engine.rules} == {"R001", "R002", "R005"}
+
+    def test_rule_ids_unique_and_well_formed(self):
+        ids = [rule.rule_id for rule in DEFAULT_RULES]
+        assert len(set(ids)) == len(ids)
+        for rule in DEFAULT_RULES:
+            assert rule.rule_id.startswith("R") and len(rule.rule_id) == 4
+            assert rule.severity in ("error", "warning")
+            assert rule.title and rule.fix_hint
+
+    def test_findings_sorted_by_position(self):
+        source = "import time\na = time.monotonic()\nb = time.time()\n"
+        findings = lint_source(source)
+        assert [f.line for f in findings] == [2, 3]
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text(RACY_SOURCE)
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text(RACY_SOURCE)
+        findings = LintEngine().lint_paths([tmp_path])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "R001"
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text('"""Module."""\nx = 1\n')
+        assert lint_main([str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(RACY_SOURCE)
+        assert lint_main([str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "hint:" in out
+
+    def test_warning_needs_strict_to_fail(self, tmp_path):
+        target = tmp_path / "warn.py"
+        target.write_text("__all__ = ['f']\ndef f():\n    return 1\n")
+        assert lint_main([str(target)]) == 0
+        assert lint_main([str(target), "--strict"]) == 1
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text(RACY_SOURCE)
+        assert lint_main([str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule"] == "R001"
+        assert payload[0]["line"] == 2
+
+    def test_select_filters(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(RACY_SOURCE)
+        assert lint_main([str(target), "--select", "R005"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+            assert rule_id in out
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert lint_main([]) == 2
+        assert "no paths" in capsys.readouterr().err
+
+    def test_empty_selection_is_usage_error(self, tmp_path, capsys):
+        target = tmp_path / "x.py"
+        target.write_text("x = 1\n")
+        assert lint_main([str(target), "--select", "R999"]) == 2

@@ -1,0 +1,208 @@
+"""Race sanitizer: tracked arrays, conflict detection, runtime wiring."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.race import (
+    RaceSanitizer,
+    TrackedArray,
+    declare_order_dependent,
+    is_order_dependent,
+)
+from repro.core.hindex import inplace_sweep, synchronous_sweep
+from repro.core.pkmc import pkmc
+from repro.errors import ParforRaceError
+from repro.graph import UndirectedGraph
+from repro.runtime import SimRuntime
+
+
+@pytest.fixture
+def fig2():
+    return UndirectedGraph.from_edges(
+        8,
+        [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+         (3, 4), (4, 5), (5, 6), (6, 7)],
+    )
+
+
+class TestTrackedArray:
+    def test_reads_and_writes_pass_through(self):
+        class Recorder:
+            def __init__(self):
+                self.reads, self.writes = [], []
+
+            def record_read(self, name, cells):
+                self.reads.extend(cells.tolist())
+
+            def record_write(self, name, cells):
+                self.writes.extend(cells.tolist())
+
+        base = np.arange(5)
+        rec = Recorder()
+        tracked = TrackedArray(base, "a", rec)
+        assert tracked[2] == 2
+        tracked[3] = 99
+        assert base[3] == 99  # writes land in the caller's array
+        assert rec.reads == [2] and rec.writes == [3]
+
+    def test_fancy_index_records_every_cell(self):
+        class Recorder:
+            def __init__(self):
+                self.cells = set()
+
+            def record_read(self, name, cells):
+                self.cells.update(cells.tolist())
+
+            def record_write(self, name, cells):
+                raise AssertionError("no writes expected")
+
+        rec = Recorder()
+        tracked = TrackedArray(np.arange(10), "a", rec)
+        tracked[np.array([1, 4, 7])]
+        tracked[2:5]
+        assert rec.cells == {1, 2, 3, 4, 7}
+
+
+class TestSanitizerVerdicts:
+    def test_write_write_conflict_raises(self):
+        sanitizer = RaceSanitizer()
+        out = np.zeros(1)
+
+        def body(i, out):
+            out[0] = i
+
+        with pytest.raises(ParforRaceError) as excinfo:
+            sanitizer.run_loop("racy", 2, body, {"out": out})
+        report = excinfo.value.report
+        assert report.is_racy
+        assert report.conflicts[0].kind == "write-write"
+        assert report.conflicts[0].iterations == (0, 1)
+
+    def test_read_write_conflict_detected(self):
+        sanitizer = RaceSanitizer(raise_on_race=False)
+        data = np.zeros(4)
+
+        def body(i, data):
+            if i == 0:
+                data[3] = 1.0
+            else:
+                data[i] = data[3]
+
+        report = sanitizer.run_loop("rw", 3, body, {"data": data})
+        assert report.is_racy
+        assert any(c.kind == "read-write" for c in report.conflicts)
+
+    def test_disjoint_iterations_are_clean(self):
+        sanitizer = RaceSanitizer()
+        src, dst = np.arange(8), np.zeros(8)
+
+        def body(i, src, dst):
+            dst[i] = src[i] * 2
+
+        report = sanitizer.run_loop("map", 8, body, {"src": src, "dst": dst})
+        assert report.clean and not report.is_racy
+        assert dst.tolist() == (np.arange(8) * 2).tolist()
+
+    def test_same_iteration_read_write_is_not_a_conflict(self):
+        sanitizer = RaceSanitizer()
+        data = np.ones(4)
+
+        def body(i, data):
+            data[i] = data[i] + 1  # read and write the same cell, same iter
+
+        report = sanitizer.run_loop("rmw", 4, body, {"data": data})
+        assert report.clean
+
+    def test_order_dependent_declaration_suppresses_raise(self):
+        sanitizer = RaceSanitizer()
+        out = np.zeros(1)
+
+        @declare_order_dependent
+        def body(i, out):
+            out[0] = out[0] + i
+
+        assert is_order_dependent(body)
+        report = sanitizer.run_loop("scan", 3, body, {"out": out}, order_dependent=True)
+        assert not report.is_racy
+        assert report.total_conflicts > 0
+        assert "order-dependent" in report.summary()
+
+    def test_conflict_total_exact_with_sample_cap(self):
+        sanitizer = RaceSanitizer(raise_on_race=False)
+        data = np.zeros(100)
+
+        def body(i, data):
+            data[:] = i  # every iteration writes every cell
+
+        report = sanitizer.run_loop("broadcast", 3, body, {"data": data})
+        assert report.total_conflicts == 100
+        assert len(report.conflicts) <= 64
+
+
+class TestRuntimeWiring:
+    def test_plain_runtime_has_no_sanitizer(self):
+        rt = SimRuntime(4)
+        assert rt.sanitizer is None and not rt.sanitize
+
+    def test_observe_parfor_without_sanitizer_just_runs(self):
+        rt = SimRuntime(4)
+        data = np.zeros(4)
+
+        def body(i, data):
+            data[i] = i
+
+        assert rt.observe_parfor(4, body, {"data": data}) is None
+        assert data.tolist() == [0, 1, 2, 3]
+        assert rt.now == 0.0  # observation never charges simulated time
+
+    def test_observe_parfor_picks_up_annotation(self):
+        rt = SimRuntime(2, sanitize=True)
+        out = np.zeros(1)
+
+        @declare_order_dependent
+        def body(i, out):
+            out[0] = out[0] + 1
+
+        report = rt.observe_parfor(3, body, {"out": out})
+        assert report.order_dependent and not report.is_racy
+
+    def test_observe_parfor_flags_synthetic_race(self):
+        rt = SimRuntime(2, sanitize=True)
+        out = np.zeros(1)
+
+        def body(i, out):
+            out[0] = i
+
+        with pytest.raises(ParforRaceError):
+            rt.observe_parfor(2, body, {"out": out})
+
+
+class TestSweepKernels:
+    def test_synchronous_sweep_is_clean_under_sanitizer(self, fig2):
+        rt = SimRuntime(4, sanitize=True)
+        h = fig2.degrees().astype(np.int64)
+        sanitized = synchronous_sweep(fig2, h, runtime=rt)
+        assert np.array_equal(sanitized, synchronous_sweep(fig2, h))
+        (report,) = rt.sanitizer.reports
+        assert report.label == "synchronous_sweep" and report.clean
+
+    def test_inplace_sweep_annotated_not_flagged(self, fig2):
+        rt = SimRuntime(4, sanitize=True)
+        h = fig2.degrees().astype(np.int64)
+        expected = inplace_sweep(fig2, h.copy())
+        sanitized = inplace_sweep(fig2, h.copy(), runtime=rt)
+        assert np.array_equal(sanitized, expected)
+        (report,) = rt.sanitizer.reports
+        assert report.label == "inplace_sweep"
+        assert report.order_dependent and not report.is_racy
+        assert report.total_conflicts > 0  # overlap exists, by design
+
+    def test_pkmc_full_run_under_sanitizer_matches_plain(self, fig2):
+        for sweep in ("synchronous", "degree_order"):
+            plain = pkmc(fig2, runtime=SimRuntime(4), sweep=sweep)
+            rt = SimRuntime(4, sanitize=True)
+            sanitized = pkmc(fig2, runtime=rt, sweep=sweep)
+            assert sanitized.k_star == plain.k_star
+            assert np.array_equal(sanitized.vertices, plain.vertices)
+            assert rt.sanitizer.reports  # kernels actually routed through
+            assert not rt.sanitizer.racy_reports

@@ -1,0 +1,35 @@
+"""The lint gate: ``src/repro`` must stay clean under its own rules.
+
+This is the in-tree equivalent of the CI ``repro-lint src/ --strict``
+job — it runs inside tier-1 pytest so a rule violation fails the build
+even without a separate CI system.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis import LintEngine
+from repro.analysis.cli import main as lint_main
+
+SRC_ROOT = Path(repro.__file__).parent
+
+
+def test_src_repro_is_lint_clean():
+    findings = LintEngine().lint_paths([SRC_ROOT])
+    formatted = "\n".join(f.format() for f in findings)
+    assert not findings, f"repro-lint found violations in src/repro:\n{formatted}"
+
+
+def test_cli_strict_over_src_exits_zero(capsys):
+    exit_code = lint_main([str(SRC_ROOT), "--strict"])
+    out = capsys.readouterr().out
+    assert exit_code == 0, out
+
+
+def test_examples_are_determinism_clean():
+    examples = SRC_ROOT.parent.parent / "examples"
+    if not examples.is_dir():  # installed layout: nothing to check
+        return
+    findings = LintEngine(select=["R001"]).lint_paths([examples])
+    formatted = "\n".join(f.format() for f in findings)
+    assert not findings, f"examples use unseeded randomness/wall clock:\n{formatted}"

@@ -148,3 +148,28 @@ class TestEfficiencyShape:
     def test_max_iterations_respected(self, fig2_graph):
         result = pkmc(fig2_graph, early_stop=False, max_iterations=1)
         assert result.iterations == 1
+
+
+class TestCoreDensityHelper:
+    def test_empty_vertex_set_short_circuits(self, fig2_graph, monkeypatch):
+        import importlib
+
+        pkmc_module = importlib.import_module("repro.core.pkmc")
+
+        # Regression: the empty case must return before the O(m) edge scan,
+        # not allocate the membership mask and scan anyway.
+        def forbid_repeat(*args, **kwargs):
+            raise AssertionError("edge scan ran for an empty vertex set")
+
+        monkeypatch.setattr(pkmc_module.np, "repeat", forbid_repeat)
+        density = pkmc_module._core_density(
+            fig2_graph, np.empty(0, dtype=np.int64)
+        )
+        assert density == 0.0
+
+    def test_nonempty_density_unchanged(self, fig2_graph):
+        from repro.core.pkmc import _core_density
+
+        # The K4 {0,1,2,3} has 6 internal edges over 4 vertices.
+        k4 = np.array([0, 1, 2, 3])
+        assert _core_density(fig2_graph, k4) == pytest.approx(1.5)

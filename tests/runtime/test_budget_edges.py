@@ -1,0 +1,130 @@
+"""Budget-enforcement edge cases: exact boundaries, bad limits, nesting.
+
+These document behaviour the docstrings now promise explicitly:
+
+* ``time_limit`` is enforced with ``>`` — landing exactly on the budget is
+  within budget (a DNF needs to *exceed* the paper's cutoff);
+* negative budgets are rejected at construction, not discovered mid-run;
+* ``parallel_region`` nests like OpenMP nested parallelism — each entry
+  charges its own spawn, and leaving an inner region restores (not ends)
+  the outer one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    SimMemoryLimitExceeded,
+    SimTimeLimitExceeded,
+    SimulationError,
+)
+from repro.runtime import CostModel, SimRuntime
+
+UNIT_WORK = CostModel(
+    work_unit_seconds=1.0,
+    spawn_base_seconds=0.0,
+    spawn_per_thread_seconds=0.0,
+    barrier_base_seconds=0.0,
+    barrier_log_seconds=0.0,
+    atomic_seconds=0.0,
+    sequential_overhead_seconds=0.0,
+)
+
+
+class TestTimeLimitBoundary:
+    def test_exactly_reaching_the_limit_is_within_budget(self):
+        rt = SimRuntime(1, cost_model=UNIT_WORK, time_limit=10.0)
+        rt.charge_serial(10.0)  # lands exactly on the limit
+        assert rt.now == pytest.approx(10.0)
+
+    def test_exceeding_by_epsilon_raises(self):
+        rt = SimRuntime(1, cost_model=UNIT_WORK, time_limit=10.0)
+        rt.charge_serial(10.0)
+        with pytest.raises(SimTimeLimitExceeded):
+            rt.charge_serial(1e-9)
+
+    def test_zero_limit_allows_zero_cost_work_only(self):
+        rt = SimRuntime(1, cost_model=UNIT_WORK, time_limit=0.0)
+        rt.charge_serial(0.0)  # 0 == 0: still within budget
+        with pytest.raises(SimTimeLimitExceeded):
+            rt.charge_serial(1.0)
+
+    def test_exception_reports_elapsed_and_limit(self):
+        rt = SimRuntime(1, cost_model=UNIT_WORK, time_limit=5.0)
+        with pytest.raises(SimTimeLimitExceeded) as excinfo:
+            rt.charge_serial(7.0)
+        assert excinfo.value.limit == 5.0
+        assert excinfo.value.elapsed == pytest.approx(7.0)
+
+
+class TestInvalidBudgets:
+    def test_negative_time_limit_rejected_at_construction(self):
+        with pytest.raises(SimulationError):
+            SimRuntime(1, time_limit=-1.0)
+
+    def test_negative_memory_limit_rejected_at_construction(self):
+        with pytest.raises(SimulationError):
+            SimRuntime(1, memory_limit_bytes=-1)
+
+    def test_zero_memory_limit_is_valid_and_trips_on_first_byte(self):
+        rt = SimRuntime(1, memory_limit_bytes=0)
+        rt.allocate(0)  # zero bytes at a zero budget: exactly on the line
+        with pytest.raises(SimMemoryLimitExceeded):
+            rt.allocate(1)
+
+
+class TestMemoryBoundary:
+    def test_exactly_filling_the_budget_is_within_it(self):
+        rt = SimRuntime(1, memory_limit_bytes=1024)
+        rt.allocate(1024)
+        assert rt.current_memory_bytes == 1024
+
+    def test_one_byte_over_raises(self):
+        rt = SimRuntime(1, memory_limit_bytes=1024)
+        rt.allocate(1024)
+        with pytest.raises(SimMemoryLimitExceeded):
+            rt.allocate(1)
+
+    def test_per_thread_multiplier_counts_against_budget(self):
+        rt = SimRuntime(8, memory_limit_bytes=1000)
+        with pytest.raises(SimMemoryLimitExceeded):
+            rt.allocate(200, per_thread=True)  # 1600 booked
+
+
+class TestNestedRegions:
+    def test_nested_region_charges_spawn_per_entry(self):
+        flat = SimRuntime(8)
+        with flat.parallel_region():
+            pass
+        nested = SimRuntime(8)
+        with nested.parallel_region():
+            with nested.parallel_region():
+                pass
+        assert nested.breakdown.spawn == pytest.approx(2 * flat.breakdown.spawn)
+
+    def test_inner_exit_restores_outer_region_state(self):
+        rt = SimRuntime(8)
+        with rt.parallel_region():
+            with rt.parallel_region():
+                rt.parfor(np.ones(8))
+            spawn_before = rt.breakdown.spawn
+            # Still inside the outer region: the loop must not re-spawn.
+            rt.parfor(np.ones(8))
+            assert rt.breakdown.spawn == pytest.approx(spawn_before)
+
+    def test_loops_after_region_exit_pay_their_own_spawn(self):
+        rt = SimRuntime(8)
+        with rt.parallel_region():
+            pass
+        spawn_after_region = rt.breakdown.spawn
+        rt.parfor(np.ones(8))
+        assert rt.breakdown.spawn > spawn_after_region
+
+    def test_region_survives_exception_and_restores_state(self):
+        rt = SimRuntime(8)
+        with pytest.raises(RuntimeError):
+            with rt.parallel_region():
+                raise RuntimeError("kernel failed")
+        spawn_before = rt.breakdown.spawn
+        rt.parfor(np.ones(8))  # outside any region again: pays spawn
+        assert rt.breakdown.spawn > spawn_before
