@@ -9,9 +9,15 @@ regressions in the implementation itself.
 import numpy as np
 import pytest
 
+from repro.bench.kernels import (
+    _run_tail_frontier,
+    _run_tail_lexsort,
+    _warm_tail_state,
+)
 from repro.core import pkmc, pwc, synchronous_sweep, wstar_subgraph, xy_core
 from repro.datasets import load_directed, load_undirected
 from repro.graph import chung_lu_directed, chung_lu_undirected
+from repro.kernels import reference_segment_h_index
 
 
 @pytest.fixture(scope="module")
@@ -25,10 +31,39 @@ def medium_directed():
 
 
 def test_kernel_hindex_sweep(benchmark, medium_undirected):
-    """One vectorised h-index sweep over 100k edges."""
+    """One vectorised h-index sweep over 100k edges (sort-free kernel)."""
     h = medium_undirected.degrees().astype(np.int64)
     result = benchmark(synchronous_sweep, medium_undirected, h)
     assert result.shape == h.shape
+
+
+def test_kernel_hindex_sweep_lexsort_reference(benchmark, medium_undirected):
+    """The same sweep via the pre-kernel-layer O(m log m) lexsort path."""
+    graph = medium_undirected
+    h = graph.degrees().astype(np.int64)
+    result = benchmark(
+        reference_segment_h_index,
+        graph.indptr,
+        h[graph.indices],
+        graph.heads(),
+    )
+    assert np.array_equal(result, synchronous_sweep(graph, h))
+
+
+def test_kernel_tail_frontier(benchmark, medium_undirected):
+    """Convergence-tail sweeps via the frontier path (the PR-2 hot case)."""
+    h_warm, frontier_warm = _warm_tail_state(medium_undirected)
+    _, sweeps = benchmark(
+        _run_tail_frontier, medium_undirected, h_warm, frontier_warm
+    )
+    assert sweeps >= 1
+
+
+def test_kernel_tail_lexsort_reference(benchmark, medium_undirected):
+    """The same convergence tail via repeated full lexsort sweeps."""
+    h_warm, _ = _warm_tail_state(medium_undirected)
+    _, sweeps = benchmark(_run_tail_lexsort, medium_undirected, h_warm)
+    assert sweeps >= 1
 
 
 def test_kernel_pkmc_end_to_end(benchmark, medium_undirected):

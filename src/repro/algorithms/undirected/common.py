@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...graph.undirected import UndirectedGraph
+from ...kernels.density import induced_density
 from ...runtime.simruntime import SimRuntime
 
 __all__ = [
@@ -12,18 +13,6 @@ __all__ = [
     "batch_neighbor_array",
     "charge_serial_peel",
 ]
-
-
-def induced_density(graph: UndirectedGraph, vertices: np.ndarray) -> float:
-    """Density |E(S)| / |S| of the subgraph induced by ``vertices``."""
-    vertices = np.asarray(vertices, dtype=np.int64)
-    if vertices.size == 0:
-        return 0.0
-    member = np.zeros(graph.num_vertices, dtype=bool)
-    member[vertices] = True
-    heads = np.repeat(np.arange(graph.num_vertices), graph.degrees())
-    inside = member[heads] & member[graph.indices] & (heads < graph.indices)
-    return int(np.count_nonzero(inside)) / vertices.size
 
 
 def batch_neighbor_array(graph: UndirectedGraph, vertices: np.ndarray) -> np.ndarray:

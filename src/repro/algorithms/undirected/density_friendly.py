@@ -66,7 +66,7 @@ def _marginal_density(
     inner_mask[inner] = True
     block_mask = np.zeros(graph.num_vertices, dtype=bool)
     block_mask[block] = True
-    heads = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+    heads = graph.heads()
     in_block = block_mask[heads] & block_mask[graph.indices] & (heads < graph.indices)
     in_inner = inner_mask[heads] & inner_mask[graph.indices] & (heads < graph.indices)
     edge_gain = int(np.count_nonzero(in_block)) - int(np.count_nonzero(in_inner))

@@ -8,6 +8,15 @@ simulated parallel kernels (and the race sanitizer) to treat a graph as a
 read-only shared structure.  Only ``graph/builder.py`` — and the graph
 classes' own constructors (``self.indptr = ...``) — may write these
 buffers.
+
+The same contract covers the *memoized scratch buffers* the graph classes
+hand out (``degrees()`` / ``heads()`` / ``hindex_bins()`` /
+``out_degrees()`` / ``in_degrees()``): they are cached once per graph and
+shared by every kernel, so writing into an accessor's return value —
+``graph.heads()[0] = ...`` — corrupts every later caller.  The caches are
+marked read-only at runtime (``setflags(write=False)``), and this rule
+catches the pattern statically, together with direct pokes at the
+``_scratch`` cache dict outside the owning graph modules.
 """
 
 from __future__ import annotations
@@ -26,10 +35,37 @@ _MUTATING_METHODS = {"fill", "itemset", "partition", "put", "resize", "sort", "s
 # Files allowed to construct / rewrite CSR buffers wholesale.
 _EXEMPT_SUFFIXES = ("graph/builder.py",)
 
+# Zero-argument accessors returning shared memoized scratch buffers.
+_SCRATCH_ACCESSORS = {"degrees", "heads", "hindex_bins", "out_degrees", "in_degrees"}
+
+# The cache dict itself; only the graph classes may touch it.
+_SCRATCH_DICT = "_scratch"
+
+# Files allowed to populate the memoization cache.
+_SCRATCH_EXEMPT_SUFFIXES = ("graph/undirected.py", "graph/directed.py")
+
 
 def _frozen_attribute(node: ast.expr) -> ast.Attribute | None:
     """Return the node if it is an ``<expr>.indptr`` / ``<expr>.indices``."""
     if isinstance(node, ast.Attribute) and node.attr in _FROZEN_ATTRS:
+        return node
+    return None
+
+
+def _scratch_accessor_call(node: ast.expr) -> str | None:
+    """Return the accessor name if ``node`` is ``<expr>.heads()`` etc."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _SCRATCH_ACCESSORS
+    ):
+        return node.func.attr
+    return None
+
+
+def _scratch_dict_attribute(node: ast.expr) -> ast.Attribute | None:
+    """Return the node if it is an ``<expr>._scratch``."""
+    if isinstance(node, ast.Attribute) and node.attr == _SCRATCH_DICT:
         return node
     return None
 
@@ -52,6 +88,11 @@ class CsrMutationRule(Rule):
     def _exempt(self) -> bool:
         return self.context.posix_path.endswith(_EXEMPT_SUFFIXES)
 
+    def _scratch_exempt(self) -> bool:
+        return self.context.posix_path.endswith(
+            _EXEMPT_SUFFIXES + _SCRATCH_EXEMPT_SUFFIXES
+        )
+
     def _check_store_target(self, target: ast.expr, *, allow_self_rebind: bool) -> None:
         if isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
@@ -67,6 +108,21 @@ class CsrMutationRule(Rule):
                     target,
                     f"element write into frozen CSR buffer `.{attr.attr}`",
                 )
+            accessor = _scratch_accessor_call(target.value)
+            if accessor is not None:
+                self.report(
+                    target,
+                    f"element write into memoized scratch buffer "
+                    f"`.{accessor}()` (shared by all kernels; copy first)",
+                )
+            if not self._scratch_exempt():
+                scratch = _scratch_dict_attribute(target.value)
+                if scratch is not None:
+                    self.report(
+                        target,
+                        "write into the `_scratch` cache dict outside the "
+                        "owning graph class",
+                    )
             return
         attr = _frozen_attribute(target)
         if attr is not None and not (allow_self_rebind and _base_is_self(attr)):
@@ -75,6 +131,14 @@ class CsrMutationRule(Rule):
                 f"rebinding of frozen CSR buffer `.{attr.attr}` outside the "
                 "owning constructor",
             )
+        if not self._scratch_exempt():
+            scratch = _scratch_dict_attribute(target)
+            if scratch is not None:
+                self.report(
+                    target,
+                    "rebinding of the `_scratch` cache dict outside the "
+                    "owning graph class",
+                )
 
     def visit_Assign(self, node: ast.Assign) -> None:
         """Check plain assignment targets."""
@@ -106,5 +170,13 @@ class CsrMutationRule(Rule):
                         node,
                         f"in-place `{node.func.attr}()` on frozen CSR buffer "
                         f"`.{attr.attr}`",
+                    )
+                accessor = _scratch_accessor_call(node.func.value)
+                if accessor is not None:
+                    self.report(
+                        node,
+                        f"in-place `{node.func.attr}()` on memoized scratch "
+                        f"buffer `.{accessor}()` (shared by all kernels; "
+                        "copy first)",
                     )
         self.generic_visit(node)

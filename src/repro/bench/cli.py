@@ -31,7 +31,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (exp1..exp8) or 'all'; default: all",
+        help=(
+            "experiment ids (exp1..exp8), 'kernels' (the kernel-layer "
+            "bench-regression harness) or 'all'; default: all"
+        ),
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
@@ -57,7 +60,42 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="check each artifact against the paper's encoded claims",
     )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE_JSON",
+        help=(
+            "with 'kernels': compare the fresh run against a committed "
+            "BENCH_kernels.json baseline and exit non-zero on regression"
+        ),
+    )
     return parser
+
+
+def _run_kernels(args) -> int:
+    """Run the kernel bench; write or check ``BENCH_kernels.json``."""
+    import json
+
+    from .kernels import check_regression, render_kernel_report, run_kernel_bench
+
+    payload = run_kernel_bench()
+    print(render_kernel_report(payload))
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text(encoding="utf-8"))
+        failures = check_regression(payload, baseline)
+        for failure in failures:
+            print(f"  [FAIL] {failure}")
+        if failures:
+            return 1
+        print(f"  [PASS] no kernel regression vs {args.check}")
+        return 0
+    output_dir = args.output if args.output is not None else Path(".")
+    output_dir.mkdir(parents=True, exist_ok=True)
+    target = output_dir / "BENCH_kernels.json"
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"[kernel bench written to {target}]")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -70,6 +108,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     requested = args.experiments or ["all"]
+    if "kernels" in requested:
+        status = _run_kernels(args)
+        requested = [name for name in requested if name != "kernels"]
+        if status or not requested:
+            return status
     if "all" in requested:
         requested = list(ALL_EXPERIMENTS)
     unknown = [name for name in requested if name not in ALL_EXPERIMENTS]

@@ -1,0 +1,279 @@
+"""Kernel-layer bench-regression harness (``repro-bench kernels``).
+
+Measures the PR-2 kernel layer (``repro.kernels``) against the
+pre-kernel-layer formulations that are kept in-tree as references:
+
+* **wall-clock, one full sweep** — sort-free :func:`segment_h_index`
+  versus the O(m log m) ``lexsort`` formulation
+  (:func:`reference_segment_h_index`) on one full h-index sweep;
+* **wall-clock, convergence tail** — the frontier sweep loop versus
+  repeated full lexsort sweeps from a two-sweep warm start, where almost
+  every vertex is already at its fixed point and the frontier path should
+  win by well over the 2x the acceptance bar demands;
+* **simulated parallel seconds** — PKMC (both sweep modes), Local and PWC
+  with ``frontier=True`` versus ``frontier=False`` under the same
+  :class:`~repro.runtime.simruntime.SimRuntime`, checking that frontier
+  accounting never charges more than the full re-scan.
+
+``run_kernel_bench`` returns a JSON-serialisable payload;
+``check_regression`` compares a fresh payload against a committed
+baseline (``BENCH_kernels.json``) using machine-robust criteria: exact
+simulated costs (they are deterministic) with a tolerance for additive
+accounting changes, and wall-clock *speedup ratios* rather than raw
+seconds so a slower CI host cannot fail the gate spuriously.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from ..algorithms.undirected.local import local_uds
+from ..core.pkmc import pkmc
+from ..core.pwc import pwc
+from ..graph import chung_lu_directed, chung_lu_undirected
+from ..kernels.frontier import frontier_synchronous_sweep
+from ..kernels.segments import reference_segment_h_index, segment_h_index
+from ..runtime.simruntime import SimRuntime
+from .config import DEFAULT_THREADS
+
+__all__ = ["run_kernel_bench", "check_regression", "render_kernel_report"]
+
+#: Acceptance floor for the convergence-tail speedup (frontier vs lexsort).
+TAIL_SPEEDUP_FLOOR = 2.0
+
+#: Relative regression tolerance of the CI gate.
+DEFAULT_TOLERANCE = 0.25
+
+
+def _median_seconds(fn, repeats: int) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeats`` runs."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()  # repro-lint: disable=R001 (real wall-clock measurement)
+        fn()
+        samples.append(time.perf_counter() - started)  # repro-lint: disable=R001 (real wall-clock measurement)
+    return statistics.median(samples)
+
+
+def _warm_tail_state(graph):
+    """Sweep until fewer than half the vertices are still active.
+
+    That point marks the convergence *tail*: the regime the frontier path
+    targets, where a full re-scan recomputes mostly-converged vertices.
+    Returns ``(h, frontier)`` at the tail's start.
+    """
+    h = graph.degrees().astype(np.int64)
+    active = None
+    while True:
+        h, active = frontier_synchronous_sweep(graph, h, frontier=active)
+        if active.size < graph.num_vertices / 2:
+            return h, active
+
+
+def _lexsort_full_sweep(graph, h):
+    return reference_segment_h_index(
+        graph.indptr, h[graph.indices], seg_rows=graph.heads()
+    )
+
+
+def _run_tail_lexsort(graph, h_start):
+    """Full lexsort sweeps from the warm start until the fixed point."""
+    h = h_start
+    sweeps = 0
+    while True:
+        new_h = _lexsort_full_sweep(graph, h)
+        sweeps += 1
+        if np.array_equal(new_h, h):
+            return h, sweeps
+        h = new_h
+
+
+def _run_tail_frontier(graph, h_start, frontier_start):
+    """Frontier sweeps from the same warm start until the frontier drains."""
+    h, active = h_start.copy(), frontier_start
+    sweeps = 0
+    while active.size:
+        h, active = frontier_synchronous_sweep(graph, h, frontier=active)
+        sweeps += 1
+    return h, sweeps
+
+
+def _simulated_pair(run, threads: int) -> dict:
+    """Simulated seconds of one solver with and without the frontier path."""
+    frontier_rt = SimRuntime(num_threads=threads)
+    run(frontier_rt, True)
+    full_rt = SimRuntime(num_threads=threads)
+    run(full_rt, False)
+    return {"frontier_s": frontier_rt.now, "full_s": full_rt.now}
+
+
+def run_kernel_bench(
+    num_vertices: int = 20_000,
+    num_edges: int = 100_000,
+    repeats: int = 5,
+    threads: int = DEFAULT_THREADS,
+) -> dict:
+    """Run the kernel benches; return the ``BENCH_kernels.json`` payload."""
+    undirected = chung_lu_undirected(num_vertices, num_edges, seed=1)
+    directed = chung_lu_directed(num_vertices, num_edges, seed=2)
+
+    # --- wall clock: one full sweep, lexsort vs sort-free ----------------
+    h0 = undirected.degrees().astype(np.int64)
+    neighbor_values = h0[undirected.indices]
+    old_sweep = _median_seconds(
+        lambda: _lexsort_full_sweep(undirected, h0), repeats
+    )
+    bins = undirected.hindex_bins()
+    new_sweep = _median_seconds(
+        lambda: segment_h_index(
+            undirected.indptr, neighbor_values,
+            seg_rows=undirected.heads(), bins=bins,
+        ),
+        repeats,
+    )
+    if not np.array_equal(
+        _lexsort_full_sweep(undirected, h0),
+        segment_h_index(
+            undirected.indptr, neighbor_values,
+            seg_rows=undirected.heads(), bins=bins,
+        ),
+    ):
+        raise AssertionError("sort-free sweep disagrees with the lexsort sweep")
+
+    # --- wall clock: convergence tail, full lexsort loop vs frontier -----
+    h_warm, frontier_warm = _warm_tail_state(undirected)
+    old_fix, old_tail_sweeps = _run_tail_lexsort(undirected, h_warm)
+    new_fix, new_tail_sweeps = _run_tail_frontier(undirected, h_warm, frontier_warm)
+    if not np.array_equal(old_fix, new_fix):
+        raise AssertionError("frontier tail reaches a different fixed point")
+    old_tail = _median_seconds(
+        lambda: _run_tail_lexsort(undirected, h_warm), repeats
+    )
+    new_tail = _median_seconds(
+        lambda: _run_tail_frontier(undirected, h_warm, frontier_warm), repeats
+    )
+
+    # --- simulated parallel seconds: frontier on vs off ------------------
+    simulated = {
+        "pkmc_synchronous": _simulated_pair(
+            lambda rt, f: pkmc(undirected, runtime=rt, frontier=f), threads
+        ),
+        "pkmc_degree_order": _simulated_pair(
+            lambda rt, f: pkmc(
+                undirected, runtime=rt, sweep="degree_order", frontier=f
+            ),
+            threads,
+        ),
+        "local": _simulated_pair(
+            lambda rt, f: local_uds(undirected, runtime=rt, frontier=f), threads
+        ),
+        "pwc": _simulated_pair(
+            lambda rt, f: pwc(directed, runtime=rt, frontier=f), threads
+        ),
+    }
+
+    return {
+        "schema": 1,
+        "workload": {
+            "num_vertices": num_vertices,
+            "num_edges_requested": num_edges,
+            "num_edges_undirected": undirected.num_edges,
+            "num_edges_directed": directed.num_edges,
+            "generator": "chung_lu(seed=1 undirected, seed=2 directed)",
+            "threads": threads,
+            "repeats": repeats,
+        },
+        "wall_clock": {
+            "full_sweep": {
+                "lexsort_s": old_sweep,
+                "sort_free_s": new_sweep,
+                "speedup": old_sweep / new_sweep if new_sweep else float("inf"),
+            },
+            "tail_sweeps": {
+                "lexsort_full_s": old_tail,
+                "frontier_s": new_tail,
+                "speedup": old_tail / new_tail if new_tail else float("inf"),
+                "lexsort_sweeps": old_tail_sweeps,
+                "frontier_sweeps": new_tail_sweeps,
+            },
+        },
+        "simulated_seconds": simulated,
+    }
+
+
+def check_regression(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Compare a fresh payload against the committed baseline.
+
+    Returns a list of human-readable failures (empty means the gate
+    passes).  Wall-clock is compared through speedup *ratios* so the gate
+    is robust to slower or faster CI hosts; simulated seconds are
+    deterministic and compared directly with ``tolerance`` headroom.
+    """
+    failures: list[str] = []
+    bound = 1.0 + tolerance
+
+    tail = current["wall_clock"]["tail_sweeps"]
+    if tail["speedup"] < TAIL_SPEEDUP_FLOOR:
+        failures.append(
+            f"tail frontier speedup {tail['speedup']:.2f}x is below the "
+            f"{TAIL_SPEEDUP_FLOOR:.1f}x acceptance floor"
+        )
+    for section in ("full_sweep", "tail_sweeps"):
+        cur = current["wall_clock"][section]["speedup"]
+        base = baseline["wall_clock"][section]["speedup"]
+        if cur < base / bound:
+            failures.append(
+                f"wall-clock {section} speedup regressed: {cur:.2f}x vs "
+                f"baseline {base:.2f}x (tolerance {tolerance:.0%})"
+            )
+
+    for solver, base_pair in baseline["simulated_seconds"].items():
+        cur_pair = current["simulated_seconds"].get(solver)
+        if cur_pair is None:
+            failures.append(f"solver {solver} missing from current payload")
+            continue
+        if cur_pair["frontier_s"] > cur_pair["full_s"] * (1.0 + 1e-9):
+            failures.append(
+                f"{solver}: frontier simulated cost {cur_pair['frontier_s']:.4g}s "
+                f"exceeds the full re-scan cost {cur_pair['full_s']:.4g}s"
+            )
+        if cur_pair["frontier_s"] > base_pair["frontier_s"] * bound:
+            failures.append(
+                f"{solver}: frontier simulated cost {cur_pair['frontier_s']:.4g}s "
+                f"regressed vs baseline {base_pair['frontier_s']:.4g}s "
+                f"(tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def render_kernel_report(payload: dict) -> str:
+    """Readable summary of a kernel-bench payload."""
+    wall = payload["wall_clock"]
+    lines = [
+        "kernel bench "
+        f"({payload['workload']['num_vertices']} vertices, "
+        f"{payload['workload']['num_edges_undirected']} undirected edges)",
+        (
+            "  full sweep   : lexsort "
+            f"{wall['full_sweep']['lexsort_s'] * 1e3:8.2f} ms | sort-free "
+            f"{wall['full_sweep']['sort_free_s'] * 1e3:8.2f} ms | "
+            f"{wall['full_sweep']['speedup']:5.2f}x"
+        ),
+        (
+            "  tail sweeps  : lexsort "
+            f"{wall['tail_sweeps']['lexsort_full_s'] * 1e3:8.2f} ms | frontier "
+            f"{wall['tail_sweeps']['frontier_s'] * 1e3:8.2f} ms | "
+            f"{wall['tail_sweeps']['speedup']:5.2f}x"
+        ),
+    ]
+    for solver, pair in payload["simulated_seconds"].items():
+        lines.append(
+            f"  sim {solver:<18}: frontier {pair['frontier_s']:.4g}s | "
+            f"full {pair['full_s']:.4g}s"
+        )
+    return "\n".join(lines)

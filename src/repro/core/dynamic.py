@@ -33,7 +33,8 @@ import numpy as np
 
 from ..errors import EmptyGraphError, GraphError
 from ..graph.undirected import UndirectedGraph
-from .hindex import synchronous_sweep
+from ..kernels.density import induced_density
+from ..kernels.frontier import frontier_synchronous_sweep
 from .results import UDSResult
 
 __all__ = ["DynamicKStarCore"]
@@ -113,12 +114,15 @@ class DynamicKStarCore:
             bump[self._h >= floor] = self._dirty_insertions
         warm = np.minimum(self._h + bump, degrees)
         h = np.maximum(warm, 0)
+        # Frontier re-convergence: after the first full sweep only the
+        # neighbourhood of the still-moving region is recomputed, which is
+        # exactly the locality a warm start buys.
+        active = None
         while True:
-            new_h = synchronous_sweep(self._graph, h)
+            h, active = frontier_synchronous_sweep(self._graph, h, frontier=active)
             self.total_sweeps += 1
-            if np.array_equal(new_h, h):
+            if active.size == 0:
                 break
-            h = new_h
         self._h = h
         self._dirty = False
         self._dirty_insertions = 0
@@ -154,11 +158,7 @@ class DynamicKStarCore:
             raise EmptyGraphError("UDS is undefined on a graph without edges")
         k_star = int(self._h.max())
         vertices = np.flatnonzero(self._h == k_star)
-        member = np.zeros(self._num_vertices, dtype=bool)
-        member[vertices] = True
-        heads = np.repeat(np.arange(self._num_vertices), self._graph.degrees())
-        inside = member[heads] & member[self._graph.indices] & (heads < self._graph.indices)
-        density = int(np.count_nonzero(inside)) / vertices.size
+        density = induced_density(self._graph, vertices)
         return UDSResult(
             algorithm="DynamicK*Core",
             vertices=vertices,

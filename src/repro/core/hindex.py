@@ -24,6 +24,8 @@ import numpy as np
 
 from ..analysis.race import declare_order_dependent
 from ..graph.undirected import UndirectedGraph
+from ..kernels.frontier import gauss_seidel_batches
+from ..kernels.segments import concat_ranges, segment_h_index
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.simruntime import SimRuntime
@@ -58,10 +60,12 @@ def synchronous_sweep(
 ) -> np.ndarray:
     """One Jacobi sweep: return new h-values computed from the old ones.
 
-    Fully vectorised: neighbour values are gathered through the CSR arrays,
-    sorted descending within each adjacency segment, and the h-index of
-    each segment is the count of positions i (1-based) whose value is >= i
-    (a prefix property, because the segment is non-increasing).
+    Fully vectorised and sort-free: neighbour values are gathered through
+    the CSR arrays and each adjacency segment's h-index is computed by the
+    clipped-histogram + segment-suffix-sum kernel
+    (:func:`~repro.kernels.segments.segment_h_index`) over the graph's
+    cached ``heads()`` / ``hindex_bins()`` scratch buffers — O(m) per
+    sweep instead of the O(m log m) per-sweep ``lexsort`` it replaces.
 
     When ``runtime`` is a sanitizing :class:`~repro.runtime.simruntime.
     SimRuntime`, the sweep instead executes its per-vertex kernel one
@@ -84,16 +88,12 @@ def synchronous_sweep(
             n, jacobi_body, {"old": h, "new": new_h}, label="synchronous_sweep"
         )
         return new_h
-    indptr = graph.indptr
-    degrees = np.diff(indptr)
-    rows = np.repeat(np.arange(n), degrees)
-    neighbor_values = h[graph.indices]
-    order = np.lexsort((-neighbor_values, rows))
-    sorted_values = neighbor_values[order]
-    rank_in_row = np.arange(sorted_values.size) - indptr[rows] + 1
-    satisfied = sorted_values >= rank_in_row
-    prefix = np.concatenate([[0], np.cumsum(satisfied)])
-    return (prefix[indptr[1:]] - prefix[indptr[:-1]]).astype(h.dtype)
+    return segment_h_index(
+        graph.indptr,
+        h[graph.indices],
+        seg_rows=graph.heads(),
+        bins=graph.hindex_bins(),
+    ).astype(h.dtype, copy=False)
 
 
 def inplace_sweep(
@@ -101,12 +101,21 @@ def inplace_sweep(
     h: np.ndarray,
     order: np.ndarray | None = None,
     runtime: "SimRuntime | None" = None,
+    batches: "list[np.ndarray] | None" = None,
 ) -> np.ndarray:
     """One Gauss–Seidel sweep updating ``h`` in place, in ``order``.
 
     Later updates observe earlier ones, which usually converges in fewer
     sweeps (the paper's Fig. 2 walkthrough updates in non-ascending degree
     order).  Returns ``h`` for convenience.
+
+    The non-sanitized path no longer loops vertex by vertex: the order is
+    pre-planned into maximal independent-set batches
+    (:func:`~repro.kernels.frontier.gauss_seidel_batches`) and each batch
+    is one vectorised segmented h-index computation.  Batch members are
+    pairwise non-adjacent, so the simultaneous update is exactly the
+    sequential one; callers running many sweeps can pass a precomputed
+    ``batches`` plan to skip re-planning.
 
     This sweep is *intentionally* order-dependent — iterations read cells
     that earlier iterations wrote — so its sanitizer kernel carries the
@@ -127,8 +136,18 @@ def inplace_sweep(
             len(vertices), gauss_seidel_body, {"h": h}, label="inplace_sweep"
         )
         return h
-    for v in vertices:
-        h[v] = h_index(h[graph.neighbors(int(v))])
+    if batches is None:
+        batches = gauss_seidel_batches(graph, order)
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.degrees()
+    for batch in batches:
+        lens = degrees[batch]
+        slots = concat_ranges(indptr[batch], lens)
+        seg_ptr = np.zeros(batch.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=seg_ptr[1:])
+        h[batch] = segment_h_index(seg_ptr, h[indices[slots]]).astype(
+            h.dtype, copy=False
+        )
     return h
 
 

@@ -23,6 +23,12 @@ import numpy as np
 
 from ..errors import EmptyGraphError
 from ..graph.undirected import UndirectedGraph
+from ..kernels.density import induced_density
+from ..kernels.frontier import (
+    frontier_inplace_sweep,
+    frontier_synchronous_sweep,
+    gauss_seidel_batches,
+)
 from ..runtime.simruntime import SimRuntime
 from .hindex import degree_descending_order, inplace_sweep, synchronous_sweep
 from .results import UDSResult
@@ -39,16 +45,7 @@ def _sweep_costs(graph: UndirectedGraph) -> np.ndarray:
 
 def _core_density(graph: UndirectedGraph, vertices: np.ndarray) -> float:
     """Density |E(S)|/|S| of the subgraph induced by ``vertices``."""
-    if vertices.size == 0:
-        # Guard before building the membership mask: the full edge scan
-        # below is O(m) and pointless for an empty vertex set.
-        return 0.0
-    member = np.zeros(graph.num_vertices, dtype=bool)
-    member[vertices] = True
-    heads = np.repeat(np.arange(graph.num_vertices), graph.degrees())
-    mask = member[heads] & member[graph.indices] & (heads < graph.indices)
-    edges_inside = int(np.count_nonzero(mask))
-    return edges_inside / vertices.size
+    return induced_density(graph, vertices)
 
 
 def pkmc(
@@ -58,6 +55,7 @@ def pkmc(
     proposition1_guard: bool = True,
     sweep: Literal["synchronous", "degree_order"] = "synchronous",
     max_iterations: int | None = None,
+    frontier: bool = True,
 ) -> UDSResult:
     """Return the k*-core of ``graph`` as a 2-approximate UDS.
 
@@ -86,6 +84,14 @@ def pkmc(
         answer.
     max_iterations:
         Safety bound; defaults to ``num_vertices + 2``.
+    frontier:
+        Use the frontier (active-set) sweep kernels: after the first full
+        sweep, only vertices with a changed neighbour are recomputed and
+        only they are charged to the simulated runtime.  The per-sweep
+        h-arrays — and therefore the iteration count, history and
+        Theorem-1 stop — are identical to the full sweeps; disable to
+        reproduce the pre-kernel-layer full-sweep costing (the
+        bench-regression harness compares both).
 
     Returns
     -------
@@ -107,16 +113,44 @@ def pkmc(
     iterations = 0
     early_stop_fired = False
 
+    sweep_costs = _sweep_costs(graph)
+    active: np.ndarray | None = None  # Jacobi frontier (None = full sweep)
+    dirty: np.ndarray | None = None  # Gauss–Seidel dirty mask
+    batches = (
+        gauss_seidel_batches(graph, order)
+        if frontier and sweep == "degree_order"
+        else None
+    )
+
     with rt.parallel_region():
         # Initialisation: one parallel pass to set h(v) = d(v) and reduce max.
         rt.parfor(np.full(graph.num_vertices, 2.0))
         while iterations < limit:
-            rt.parfor(_sweep_costs(graph))
-            if sweep == "synchronous":
-                new_h = synchronous_sweep(graph, h, runtime=rt)
+            if not frontier:
+                rt.parfor(sweep_costs)
+                if sweep == "synchronous":
+                    new_h = synchronous_sweep(graph, h, runtime=rt)
+                else:
+                    new_h = inplace_sweep(graph, h.copy(), order, runtime=rt)
+                changed = bool(np.any(new_h < h))
+            elif sweep == "synchronous":
+                # Charge only the recomputed frontier (all n on sweep 1).
+                rt.parfor(sweep_costs if active is None else sweep_costs[active])
+                new_h, active = frontier_synchronous_sweep(
+                    graph, h, frontier=active, runtime=rt
+                )
+                # Changed vertices have degree >= 1 (h starts at the
+                # degrees), so they always wake at least one neighbour:
+                # an empty next frontier means nothing changed.
+                changed = active.size > 0
             else:
-                new_h = inplace_sweep(graph, h.copy(), order, runtime=rt)
-            changed = bool(np.any(new_h < h))
+                new_h, dirty, processed = frontier_inplace_sweep(
+                    graph, h.copy(), dirty=dirty, batches=batches, runtime=rt
+                )
+                # Charge in natural vertex order (like the full sweep did)
+                # so static-schedule imbalance never exceeds the old cost.
+                rt.parfor(sweep_costs[np.sort(processed)])
+                changed = bool(np.any(new_h[processed] < h[processed]))
             # Parallel reduction for h_max and its multiplicity (lines 10-11).
             rt.parfor(np.full(graph.num_vertices, 1.0))
             new_h_max = int(new_h.max())
@@ -152,5 +186,6 @@ def pkmc(
             "history": history,
             "early_stop_fired": early_stop_fired,
             "sweep": sweep,
+            "frontier": frontier,
         },
     )

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..errors import EmptyGraphError
 from ..graph.directed import DirectedGraph
+from ..kernels.segments import concat_ranges
 from ..runtime.simruntime import SimRuntime
 
 __all__ = [
@@ -61,6 +62,26 @@ def edge_weights(
     return weights
 
 
+def _touched_alive_edges(
+    graph: DirectedGraph,
+    alive: np.ndarray,
+    touched_src: np.ndarray,
+    touched_dst: np.ndarray,
+) -> np.ndarray:
+    """Alive edges whose weight may have changed after removing edges
+    incident to ``touched_src`` (out-degree dropped) or ``touched_dst``
+    (in-degree dropped): the alive out-edges of touched sources plus the
+    alive in-edges of touched destinations."""
+    out_starts = graph.out_indptr[touched_src]
+    out_slots = concat_ranges(out_starts, graph.out_indptr[touched_src + 1] - out_starts)
+    in_starts = graph.in_indptr[touched_dst]
+    in_slots = concat_ranges(in_starts, graph.in_indptr[touched_dst + 1] - in_starts)
+    candidates = np.unique(
+        np.concatenate([graph.out_edge_ids[out_slots], graph.in_edge_ids[in_slots]])
+    )
+    return candidates[alive[candidates]]
+
+
 def _cascade(
     graph: DirectedGraph,
     alive: np.ndarray,
@@ -69,33 +90,51 @@ def _cascade(
     threshold: int,
     strict: bool,
     runtime: SimRuntime | None,
+    frontier: bool = True,
 ) -> int:
     """Remove edges with weight < threshold (strict) or <= threshold.
 
     Runs synchronous rounds to a fixpoint, mutating ``alive``/``dout``/
     ``din`` in place; returns the number of rounds executed.  Each round is
-    one parallel sweep of all surviving adjacency entries (Algorithm 3's
-    inner while-loop body).
+    one parallel sweep (Algorithm 3's inner while-loop body).
+
+    With ``frontier=True`` (default) rounds after the first only re-check
+    the edges adjacent to the previous round's removals — an edge weight
+    ``d^+(u) * d^-(v)`` can only drop when an incident removal lowers one
+    of its endpoint degrees, and weights only decrease, so an unchanged
+    edge that once passed the threshold still passes it.  Removal sets and
+    round counts are identical to the full re-scan; only the simulated
+    parallel cost charged per round shrinks to the candidate set.
     """
     src, dst = graph.edge_src, graph.edge_dst
     rounds = 0
+    remaining = int(np.count_nonzero(alive))
+    candidates: np.ndarray | None = None  # None means "all alive edges".
     while True:
-        alive_ids = np.flatnonzero(alive)
-        if alive_ids.size == 0:
+        if remaining == 0:
             return rounds
-        weights = dout[src[alive_ids]] * din[dst[alive_ids]]
+        if frontier and candidates is not None:
+            cand_ids = candidates
+        else:
+            cand_ids = np.flatnonzero(alive)
+        weights = dout[src[cand_ids]] * din[dst[cand_ids]]
         bad = weights < threshold if strict else weights <= threshold
         rounds += 1
         if runtime is not None:
             runtime.parfor(
-                float(alive_ids.size), atomic_ops=int(np.count_nonzero(bad))
+                float(cand_ids.size), atomic_ops=int(np.count_nonzero(bad))
             )
         if not bad.any():
             return rounds
-        dead_ids = alive_ids[bad]
+        dead_ids = cand_ids[bad]
         alive[dead_ids] = False
+        remaining -= int(dead_ids.size)
         np.subtract.at(dout, src[dead_ids], 1)
         np.subtract.at(din, dst[dead_ids], 1)
+        if frontier:
+            candidates = _touched_alive_edges(
+                graph, alive, np.unique(src[dead_ids]), np.unique(dst[dead_ids])
+            )
 
 
 def winduced_subgraph(
@@ -103,6 +142,7 @@ def winduced_subgraph(
     w: int,
     edge_mask: np.ndarray | None = None,
     runtime: SimRuntime | None = None,
+    frontier: bool = True,
 ) -> np.ndarray:
     """Return the edge mask of the w-induced subgraph (Definition 9).
 
@@ -119,7 +159,10 @@ def winduced_subgraph(
     alive_dst = graph.edge_dst[alive]
     dout = np.bincount(alive_src, minlength=graph.num_vertices).astype(np.int64)
     din = np.bincount(alive_dst, minlength=graph.num_vertices).astype(np.int64)
-    _cascade(graph, alive, dout, din, int(w), strict=True, runtime=runtime)
+    _cascade(
+        graph, alive, dout, din, int(w), strict=True, runtime=runtime,
+        frontier=frontier,
+    )
     return alive
 
 
@@ -140,6 +183,7 @@ def wstar_subgraph(
     graph: DirectedGraph,
     runtime: SimRuntime | None = None,
     start_at_dmax: bool = True,
+    frontier: bool = True,
 ) -> WStarResult:
     """Compute the w*-induced subgraph by level-by-level edge peeling.
 
@@ -158,7 +202,10 @@ def wstar_subgraph(
     rounds = 0
     if start_at_dmax:
         d_max = graph.max_degree()
-        rounds += _cascade(graph, alive, dout, din, d_max, strict=True, runtime=runtime)
+        rounds += _cascade(
+            graph, alive, dout, din, d_max, strict=True, runtime=runtime,
+            frontier=frontier,
+        )
     size_after_prune = int(np.count_nonzero(alive))
 
     snapshot = alive.copy()
@@ -175,7 +222,10 @@ def wstar_subgraph(
         snapshot = alive.copy()
         w_star = w_cur
         level_sizes.append((w_cur, int(alive_ids.size)))
-        rounds += _cascade(graph, alive, dout, din, w_cur, strict=False, runtime=runtime)
+        rounds += _cascade(
+            graph, alive, dout, din, w_cur, strict=False, runtime=runtime,
+            frontier=frontier,
+        )
 
     if w_star == 0:
         # Cannot happen on a non-empty simple digraph: every edge's weight

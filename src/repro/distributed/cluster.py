@@ -90,7 +90,7 @@ class BSPCluster:
 
     def _build_partitions(self) -> list[Partition]:
         graph, owner = self.graph, self.owner
-        heads = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+        heads = graph.heads()
         same_owner = owner[heads] == owner[graph.indices]
         partitions = []
         for worker in range(self.config.num_workers):

@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.hindex import synchronous_sweep
 from ..core.results import UDSResult
 from ..errors import EmptyGraphError
 from ..graph.undirected import UndirectedGraph
+from ..kernels.density import induced_density
+from ..kernels.frontier import frontier_synchronous_sweep
 from .cluster import BSPCluster, ClusterConfig
 
 __all__ = ["distributed_pkmc"]
@@ -35,7 +36,7 @@ _H_UPDATE_UNITS = 4.0
 
 def _cross_neighbor_counts(graph: UndirectedGraph, owner: np.ndarray) -> np.ndarray:
     """Per-vertex count of neighbours living on a different worker."""
-    heads = np.repeat(np.arange(graph.num_vertices), graph.degrees())
+    heads = graph.heads()
     cross = owner[heads] != owner[graph.indices]
     counts = np.zeros(graph.num_vertices, dtype=np.int64)
     np.add.at(counts, heads[cross], 1)
@@ -71,18 +72,22 @@ def distributed_pkmc(
     )
 
     supersteps = 1
-    active = np.ones(graph.num_vertices, dtype=bool)
+    # Frontier of vertices that received a message last superstep; None
+    # means everyone (superstep 0 messaged all neighbours).
+    frontier: np.ndarray | None = None
     early_stop_fired = False
     history = [(h_max, count_at_max)]
-    while supersteps < limit and active.any():
-        new_h = synchronous_sweep(graph, h)
+    while supersteps < limit:
+        # Work: only vertices that received a message recompute — exactly
+        # the frontier the sweep kernel tracks (neighbours of vertices
+        # that changed last superstep).
+        new_h, woken = frontier_synchronous_sweep(graph, h, frontier=frontier)
         changed = new_h < h
-        # Work: only vertices that received a message recompute.  A vertex
-        # receives iff some neighbour changed last superstep ~ approximate
-        # with the active set's neighbourhood = all vertices adjacent to a
-        # previously-changed vertex; modelled conservatively as the
-        # active-set degrees.
-        compute = np.where(active, degrees + _H_UPDATE_UNITS, 0.0)
+        if frontier is None:
+            compute = degrees + _H_UPDATE_UNITS
+        else:
+            compute = np.zeros(graph.num_vertices, dtype=np.float64)
+            compute[frontier] = degrees[frontier] + _H_UPDATE_UNITS
         messages = np.where(changed, cross_counts, 0).astype(np.float64)
         cluster.superstep(compute, messages)
         supersteps += 1
@@ -101,25 +106,13 @@ def distributed_pkmc(
             early_stop_fired = True
             break
         # Next superstep: only neighbours of changed vertices recompute.
-        heads = np.repeat(np.arange(graph.num_vertices), graph.degrees())
-        woken = np.zeros(graph.num_vertices, dtype=bool)
-        if changed.any():
-            woken[graph.indices[changed[heads]]] = True
         h, h_max, count_at_max = new_h, new_h_max, new_count
-        active = woken
-        if not changed.any():
+        frontier = woken
+        if woken.size == 0:
             break
 
     core_vertices = np.flatnonzero(h == int(h.max()))
-    member = np.zeros(graph.num_vertices, dtype=bool)
-    member[core_vertices] = True
-    heads = np.repeat(np.arange(graph.num_vertices), graph.degrees())
-    inside = member[heads] & member[graph.indices] & (heads < graph.indices)
-    density = (
-        int(np.count_nonzero(inside)) / core_vertices.size
-        if core_vertices.size
-        else 0.0
-    )
+    density = induced_density(graph, core_vertices)
     return UDSResult(
         algorithm="PKMC-BSP",
         vertices=core_vertices,

@@ -33,6 +33,7 @@ class DirectedGraph:
         "in_edge_ids",
         "_edge_src",
         "_edge_dst",
+        "_scratch",
     )
 
     def __init__(self, num_vertices: int, edge_src: np.ndarray, edge_dst: np.ndarray):
@@ -67,6 +68,18 @@ class DirectedGraph:
         self.in_indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(in_deg, out=self.in_indptr[1:])
         del m  # edge count recoverable from edge_src
+        # Lazily-built, read-only scratch buffers (degree views); owned
+        # per instance so derived graphs always start with a fresh cache.
+        self._scratch: dict[str, np.ndarray] = {}
+
+    def _cached(self, key: str, build) -> np.ndarray:
+        """Memoize a derived buffer; returned arrays are frozen read-only."""
+        array = self._scratch.get(key)
+        if array is None:
+            array = build()
+            array.setflags(write=False)
+            self._scratch[key] = array
+        return array
 
     # ------------------------------------------------------------------
     # Constructors
@@ -136,12 +149,12 @@ class DirectedGraph:
         return self._edge_dst
 
     def out_degrees(self) -> np.ndarray:
-        """Return all out-degrees as an int64 array."""
-        return np.diff(self.out_indptr)
+        """Return all out-degrees (cached, read-only)."""
+        return self._cached("out_degrees", lambda: np.diff(self.out_indptr))
 
     def in_degrees(self) -> np.ndarray:
-        """Return all in-degrees as an int64 array."""
-        return np.diff(self.in_indptr)
+        """Return all in-degrees (cached, read-only)."""
+        return self._cached("in_degrees", lambda: np.diff(self.in_indptr))
 
     def out_degree(self, v: int) -> int:
         """Return the out-degree of vertex ``v``."""

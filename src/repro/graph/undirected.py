@@ -46,11 +46,15 @@ class UndirectedGraph:
     the graph.
     """
 
-    __slots__ = ("indptr", "indices", "_num_edges")
+    __slots__ = ("indptr", "indices", "_num_edges", "_scratch")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray):
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        # Lazily-built, read-only scratch buffers derived from the CSR
+        # arrays (heads, degree views, h-index histogram layout).  Owned
+        # per instance: derived graphs always start with an empty cache.
+        self._scratch: dict[str, np.ndarray] = {}
         if self.indptr.ndim != 1 or self.indptr.size == 0:
             raise GraphError("indptr must be a 1-D array with >= 1 entry")
         if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
@@ -123,9 +127,59 @@ class UndirectedGraph:
         """Number of undirected edges ``m``."""
         return self._num_edges
 
+    def _cached(self, key: str, build) -> np.ndarray:
+        """Memoize a derived buffer; returned arrays are frozen read-only.
+
+        The scratch cache mirrors the frozen-CSR contract (lint rule
+        R005): cached buffers are views of graph structure, never
+        per-algorithm state, and writing into one raises at runtime.
+        """
+        array = self._scratch.get(key)
+        if array is None:
+            array = build()
+            array.setflags(write=False)
+            self._scratch[key] = array
+        return array
+
     def degrees(self) -> np.ndarray:
-        """Return the degree of every vertex as an int64 array."""
-        return np.diff(self.indptr)
+        """Return the degree of every vertex (cached, read-only)."""
+        return self._cached("degrees", lambda: np.diff(self.indptr))
+
+    def heads(self) -> np.ndarray:
+        """Row id of every adjacency slot (cached, read-only).
+
+        Equivalent to ``np.repeat(np.arange(n), degrees)`` — the other
+        half of the CSR coordinate view that nearly every vectorised edge
+        scan needs.  Memoized because it is as large as ``indices``.
+        """
+        return self._cached(
+            "heads",
+            lambda: np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), self.degrees()
+            ),
+        )
+
+    def hindex_bins(self) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram layout for the sort-free segmented h-index kernel.
+
+        Returns ``(bin_ptr, bin_rows)``: vertex ``v`` owns the
+        ``degree(v) + 1`` histogram bins ``bin_ptr[v]:bin_ptr[v + 1]``
+        (one per attainable h-value), and ``bin_rows`` maps each global
+        bin back to its vertex.  Cached and read-only, like ``heads``.
+        """
+        bin_ptr = self._cached("hindex_bin_ptr", self._build_hindex_bin_ptr)
+        bin_rows = self._cached(
+            "hindex_bin_rows",
+            lambda: np.repeat(
+                np.arange(self.num_vertices, dtype=np.int64), self.degrees() + 1
+            ),
+        )
+        return bin_ptr, bin_rows
+
+    def _build_hindex_bin_ptr(self) -> np.ndarray:
+        bin_ptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(self.degrees() + 1, out=bin_ptr[1:])
+        return bin_ptr
 
     def degree(self, v: int) -> int:
         """Return the degree of vertex ``v``."""
@@ -149,7 +203,7 @@ class UndirectedGraph:
 
     def edges(self) -> np.ndarray:
         """Return all edges as an (m, 2) array with u < v per row."""
-        heads = np.repeat(np.arange(self.num_vertices), self.degrees())
+        heads = self.heads()
         mask = heads < self.indices
         return np.stack([heads[mask], self.indices[mask]], axis=1)
 
@@ -184,7 +238,7 @@ class UndirectedGraph:
             raise GraphError("induced vertex id out of range")
         new_id = np.full(self.num_vertices, -1, dtype=np.int64)
         new_id[keep] = np.arange(keep.size)
-        heads = np.repeat(np.arange(self.num_vertices), self.degrees())
+        heads = self.heads()
         mask = (new_id[heads] >= 0) & (new_id[self.indices] >= 0) & (heads < self.indices)
         canon = np.stack([new_id[heads[mask]], new_id[self.indices[mask]]], axis=1)
         sub = UndirectedGraph._from_canonical_edges(keep.size, np.unique(canon, axis=0) if canon.size else canon)

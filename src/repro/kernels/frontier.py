@@ -1,0 +1,214 @@
+"""Frontier (active-set) h-index sweeps.
+
+After the first few sweeps of the h-index iteration almost every vertex is
+already at its fixed point; a vertex's next value can only differ from its
+current one if a *neighbour's* value changed in the previous sweep.  The
+frontier sweeps exploit exactly that:
+
+* :func:`frontier_synchronous_sweep` — Jacobi: recomputes only the given
+  frontier and returns the next frontier (all neighbours of vertices that
+  changed).  Seeded with ``frontier=None`` (a full sweep), the per-sweep
+  arrays are *identical* to full Jacobi sweeps — skipped vertices could
+  not have changed — so convergence, iteration counts and the Theorem-1
+  early-stop trace are untouched.
+* :func:`frontier_inplace_sweep` — Gauss–Seidel over a dirty-set: the
+  caller's order is pre-planned into maximal independent-set batches
+  (:func:`gauss_seidel_batches`); each batch updates its dirty members
+  simultaneously (legal: batch members are pairwise non-adjacent, so no
+  member reads another's write), and changed members dirty their
+  neighbours for *later batches of the same sweep* as well as the next
+  sweep — reproducing full Gauss–Seidel's array evolution exactly.
+
+Simulated-cost accounting stays with the callers, which now charge only
+the processed frontier instead of all n vertices per sweep.  Under
+``SimRuntime(sanitize=True)`` both sweeps route their per-vertex kernels
+through :meth:`SimRuntime.observe_parfor` like the full sweeps do; the
+batch loops are iteration-independent (independent sets), so they come
+back race-free without needing an order-dependence annotation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .segments import concat_ranges, segment_h_index
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.undirected import UndirectedGraph
+    from ..runtime.simruntime import SimRuntime
+
+__all__ = [
+    "frontier_synchronous_sweep",
+    "frontier_inplace_sweep",
+    "gauss_seidel_batches",
+]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _scalar_h_index(values: np.ndarray) -> int:
+    """Scalar h-index used by the sanitizer's per-vertex kernel bodies."""
+    from ..core.hindex import h_index
+
+    return h_index(values)
+
+
+def _neighbors_of(graph: "UndirectedGraph", vertices: np.ndarray) -> np.ndarray:
+    """Sorted unique neighbour ids of a vertex batch (the next frontier)."""
+    if vertices.size == 0:
+        return _EMPTY
+    slots = concat_ranges(graph.indptr[vertices], graph.degrees()[vertices])
+    mask = np.zeros(graph.num_vertices, dtype=bool)
+    mask[graph.indices[slots]] = True
+    return np.flatnonzero(mask)
+
+
+def frontier_synchronous_sweep(
+    graph: "UndirectedGraph",
+    h: np.ndarray,
+    frontier: np.ndarray | None = None,
+    runtime: "SimRuntime | None" = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One Jacobi sweep restricted to ``frontier``; return ``(new_h, next)``.
+
+    ``frontier=None`` performs a full sweep (use it for the first
+    iteration, when every vertex is active).  ``next`` is the set of
+    vertices whose value may change in the following sweep: the
+    neighbours of every vertex that changed in this one.  An empty
+    ``next`` certifies the fixed point.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return h.copy(), _EMPTY
+    indptr, indices = graph.indptr, graph.indices
+    if frontier is None:
+        from ..core.hindex import synchronous_sweep
+
+        new_h = synchronous_sweep(graph, h, runtime=runtime)
+        changed = np.flatnonzero(new_h < h)
+    else:
+        frontier = np.asarray(frontier, dtype=np.int64)
+        new_h = h.copy()
+        if frontier.size == 0:
+            return new_h, _EMPTY
+        if runtime is not None and runtime.sanitize:
+
+            def frontier_body(i, old, new):
+                v = int(frontier[i])
+                new[v] = _scalar_h_index(old[indices[indptr[v]:indptr[v + 1]]])
+
+            runtime.observe_parfor(
+                frontier.size,
+                frontier_body,
+                {"old": h, "new": new_h},
+                label="frontier_synchronous_sweep",
+            )
+        else:
+            lens = graph.degrees()[frontier]
+            slots = concat_ranges(indptr[frontier], lens)
+            seg_ptr = np.zeros(frontier.size + 1, dtype=np.int64)
+            np.cumsum(lens, out=seg_ptr[1:])
+            new_h[frontier] = segment_h_index(seg_ptr, h[indices[slots]]).astype(
+                h.dtype, copy=False
+            )
+        changed = frontier[new_h[frontier] < h[frontier]]
+    return new_h, _neighbors_of(graph, changed)
+
+
+def gauss_seidel_batches(
+    graph: "UndirectedGraph", order: np.ndarray | None = None
+) -> list[np.ndarray]:
+    """Split ``order`` into maximal runs of pairwise non-adjacent vertices.
+
+    Walking the order greedily, a vertex closes the current batch iff an
+    earlier member of that batch is one of its neighbours.  Updating a
+    batch simultaneously is then exactly sequential Gauss–Seidel: no
+    member's h-index input overlaps another member's write.  The plan
+    depends only on (graph, order), so callers running many sweeps
+    compute it once.
+    """
+    n = graph.num_vertices
+    vertices = (
+        np.arange(n, dtype=np.int64)
+        if order is None
+        else np.asarray(order, dtype=np.int64)
+    )
+    if vertices.size == 0:
+        return []
+    indptr, indices = graph.indptr, graph.indices
+    stamp = np.full(n, -1, dtype=np.int64)
+    batch_id = 0
+    boundaries: list[int] = []
+    for i in range(vertices.size):
+        v = int(vertices[i])
+        if stamp[v] == batch_id:
+            batch_id += 1
+            boundaries.append(i)
+        stamp[indices[indptr[v]:indptr[v + 1]]] = batch_id
+    return np.split(vertices, boundaries)
+
+
+def frontier_inplace_sweep(
+    graph: "UndirectedGraph",
+    h: np.ndarray,
+    order: np.ndarray | None = None,
+    dirty: np.ndarray | None = None,
+    batches: list[np.ndarray] | None = None,
+    runtime: "SimRuntime | None" = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One Gauss–Seidel sweep over the dirty set, updating ``h`` in place.
+
+    Returns ``(h, dirty, processed)``: ``dirty`` is the boolean mask of
+    vertices to process next sweep (mutated in place when passed in) and
+    ``processed`` the ids recomputed this sweep, for frontier-aware cost
+    accounting.  ``dirty=None`` means all vertices (the first sweep).
+
+    Members of a batch are cleared from the dirty set when processed;
+    members that then change re-dirty their neighbours immediately, so a
+    neighbour sitting in a *later* batch of this same sweep is recomputed
+    with the fresh value — the array evolution matches plain sequential
+    Gauss–Seidel sweep for sweep, only skipping recomputations that are
+    provably identity.
+    """
+    n = graph.num_vertices
+    if batches is None:
+        batches = gauss_seidel_batches(graph, order)
+    if dirty is None:
+        dirty = np.ones(n, dtype=bool)
+    indptr, indices = graph.indptr, graph.indices
+    degrees = graph.degrees()
+    sanitizing = runtime is not None and runtime.sanitize
+    processed_parts: list[np.ndarray] = []
+    for batch in batches:
+        members = batch[dirty[batch]]
+        if members.size == 0:
+            continue
+        dirty[members] = False
+        old_values = h[members].copy()
+        if sanitizing:
+
+            def batch_body(i, h_arr, members=members):
+                v = int(members[i])
+                h_arr[v] = _scalar_h_index(h_arr[indices[indptr[v]:indptr[v + 1]]])
+
+            runtime.observe_parfor(
+                members.size, batch_body, {"h_arr": h}, label="frontier_inplace_batch"
+            )
+        else:
+            lens = degrees[members]
+            slots = concat_ranges(indptr[members], lens)
+            seg_ptr = np.zeros(members.size + 1, dtype=np.int64)
+            np.cumsum(lens, out=seg_ptr[1:])
+            h[members] = segment_h_index(seg_ptr, h[indices[slots]]).astype(
+                h.dtype, copy=False
+            )
+        changed = members[h[members] < old_values]
+        if changed.size:
+            dirty[_neighbors_of(graph, changed)] = True
+        processed_parts.append(members)
+    processed = (
+        np.concatenate(processed_parts) if processed_parts else _EMPTY
+    )
+    return h, dirty, processed

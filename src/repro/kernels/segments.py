@@ -1,0 +1,142 @@
+"""Segment primitives: CSR range concatenation and sort-free h-indices.
+
+The segmented h-index kernel is the heart of the sweep layer.  Given a
+CSR-like segmentation (``seg_ptr``) of a flat value array, it returns the
+h-index of every segment without sorting:
+
+1. every value is clipped to its segment length (the h-index of a segment
+   of length d is at most d, so larger values contribute exactly like d);
+2. a single global ``bincount`` builds per-segment histograms over the
+   value range ``0..d`` — segment s owns ``len(s) + 1`` bins, laid out
+   consecutively (``sum(d_s + 1) = m + n`` bins in total);
+3. a global cumulative sum turns the histograms into per-segment suffix
+   sums ``count_ge(k)`` (how many values are >= k), and the h-index is the
+   number of ranks ``k`` in ``1..d`` with ``count_ge(k) >= k`` —
+   ``count_ge`` is non-increasing while ``k`` increases, so the satisfied
+   ranks form a prefix and counting them equals the maximum.
+
+Total work is O(m + n) with no comparison sort anywhere, against the
+O(m log m) ``lexsort`` of the pre-kernel-layer sweep (kept below as
+:func:`reference_segment_h_index` for property tests and benches).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "concat_ranges",
+    "segment_h_index",
+    "reference_segment_h_index",
+]
+
+
+def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + l)`` for every (start, length) pair.
+
+    The standard vectorised multi-range construction: ones everywhere, a
+    corrective jump at every segment boundary, one cumulative sum.  Empty
+    segments are allowed and contribute nothing.
+
+    >>> concat_ranges(np.array([5, 0]), np.array([3, 2])).tolist()
+    [5, 6, 7, 0, 1]
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    nonempty = lengths > 0
+    if not nonempty.all():
+        starts = starts[nonempty]
+        lengths = lengths[nonempty]
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out = np.ones(total, dtype=np.int64)
+    out[0] = starts[0]
+    boundaries = np.cumsum(lengths[:-1])
+    out[boundaries] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
+    np.cumsum(out, out=out)
+    return out
+
+
+def segment_h_index(
+    seg_ptr: np.ndarray,
+    values: np.ndarray,
+    seg_rows: np.ndarray | None = None,
+    bins: tuple[np.ndarray, np.ndarray] | None = None,
+) -> np.ndarray:
+    """Return the h-index of every segment of ``values`` (sort-free).
+
+    Parameters
+    ----------
+    seg_ptr:
+        CSR-style pointer array of ``n + 1`` entries; segment ``s`` is
+        ``values[seg_ptr[s]:seg_ptr[s + 1]]``.  Values must be
+        non-negative integers.
+    seg_rows:
+        Optional precomputed ``np.repeat(arange(n), diff(seg_ptr))``
+        (the owning segment of every slot) — pass a graph's cached
+        ``heads()`` buffer to skip rebuilding it every sweep.
+    bins:
+        Optional precomputed ``(bin_ptr, bin_rows)`` histogram layout as
+        returned by ``UndirectedGraph.hindex_bins()``; rebuilt on the fly
+        when absent (the frontier path passes small ad-hoc segments).
+
+    >>> segment_h_index(np.array([0, 4, 4]), np.array([4, 3, 3, 1])).tolist()
+    [3, 0]
+    """
+    seg_ptr = np.asarray(seg_ptr, dtype=np.int64)
+    n = seg_ptr.size - 1
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    lens = np.diff(seg_ptr)
+    if seg_rows is None:
+        seg_rows = np.repeat(np.arange(n, dtype=np.int64), lens)
+    values = np.asarray(values)
+    clipped = np.minimum(values, lens[seg_rows]).astype(np.int64, copy=False)
+    if bins is None:
+        bin_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lens + 1, out=bin_ptr[1:])
+        bin_rows = np.repeat(np.arange(n, dtype=np.int64), lens + 1)
+    else:
+        bin_ptr, bin_rows = bins
+    total_bins = int(bin_ptr[-1])
+    hist = np.bincount(bin_ptr[seg_rows] + clipped, minlength=total_bins)
+    csum = np.cumsum(hist)
+    positions = np.arange(total_bins, dtype=np.int64)
+    rank = positions - bin_ptr[bin_rows]
+    # count_ge at the bin of rank k (k >= 1) is the segment-suffix sum
+    # hist[k..d], i.e. csum at the segment's last bin minus csum just
+    # before this bin.  Rank-0 bins index csum[-1] harmlessly: they are
+    # masked out below.
+    seg_last = csum[bin_ptr[1:] - 1]
+    count_ge = seg_last[bin_rows] - csum[positions - 1]
+    satisfied = (rank >= 1) & (count_ge >= rank)
+    prefix = np.zeros(total_bins + 1, dtype=np.int64)
+    np.cumsum(satisfied, out=prefix[1:])
+    return prefix[bin_ptr[1:]] - prefix[bin_ptr[:-1]]
+
+
+def reference_segment_h_index(
+    seg_ptr: np.ndarray,
+    values: np.ndarray,
+    seg_rows: np.ndarray | None = None,
+) -> np.ndarray:
+    """The pre-kernel-layer O(m log m) lexsort formulation (reference).
+
+    Kept verbatim for the old-vs-new property tests and the
+    bench-regression harness; production sweeps use
+    :func:`segment_h_index`.
+    """
+    seg_ptr = np.asarray(seg_ptr, dtype=np.int64)
+    n = seg_ptr.size - 1
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    values = np.asarray(values)
+    if seg_rows is None:
+        seg_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(seg_ptr))
+    order = np.lexsort((-values, seg_rows))
+    sorted_values = values[order]
+    rank_in_row = np.arange(sorted_values.size) - seg_ptr[seg_rows] + 1
+    satisfied = sorted_values >= rank_in_row
+    prefix = np.concatenate([[0], np.cumsum(satisfied)])
+    return (prefix[seg_ptr[1:]] - prefix[seg_ptr[:-1]]).astype(np.int64)

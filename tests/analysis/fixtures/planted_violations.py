@@ -62,6 +62,13 @@ def mutate_csr(graph):
     graph.indices = np.arange(3)
 
 
+def mutate_scratch(graph):
+    """R005: writes into memoized scratch buffers / the cache dict."""
+    graph.heads()[0] = 7
+    graph.degrees().sort()
+    graph._scratch["degrees"] = None
+
+
 def suppressed_wall_clock():
     """Suppression check: this violation must NOT be reported."""
     return time.monotonic()  # repro-lint: disable=R001

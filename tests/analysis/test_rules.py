@@ -51,13 +51,17 @@ class TestPlantedViolations:
         assert len(ids_at(fixture_findings, "R004")) == 1
 
     def test_r005_findings(self, fixture_findings):
-        # element write, in-place sort(), rebinding
+        # CSR: element write, in-place sort(), rebinding;
+        # scratch: element write, in-place sort(), _scratch dict write.
         findings = [f for f in fixture_findings if f.rule_id == "R005"]
-        assert len(findings) == 3
+        assert len(findings) == 6
         messages = " ".join(f.message for f in findings)
         assert "element write" in messages
         assert "sort()" in messages
         assert "rebinding" in messages.lower()
+        assert "scratch" in messages
+        assert "`.heads()`" in messages
+        assert "`_scratch`" in messages
 
     def test_findings_carry_fix_hints_and_severities(self, fixture_findings):
         for finding in fixture_findings:
@@ -163,3 +167,39 @@ class TestRuleEdgeCases:
         source = "g.indptr[0] = 1\n"
         assert lint_source(source, path="src/repro/graph/builder.py") == []
         assert lint_source(source, path="src/repro/core/pkmc.py") != []
+
+    def test_r005_scratch_reads_are_clean(self):
+        source = (
+            "def f(graph):\n"
+            '    """Doc."""\n'
+            "    heads = graph.heads()\n"
+            "    return heads[graph.degrees() > 1] + graph.out_degrees().sum()\n"
+        )
+        assert lint_source(source) == []
+
+    def test_r005_scratch_copy_then_mutate_is_clean(self):
+        source = (
+            "def f(graph):\n"
+            '    """Doc."""\n'
+            "    mine = graph.degrees().copy()\n"
+            "    mine[0] = 0\n"
+            "    mine.sort()\n"
+            "    return mine\n"
+        )
+        assert lint_source(source) == []
+
+    def test_r005_scratch_accessor_writes_flagged(self):
+        findings = lint_source("graph.in_degrees()[2] = 5\n")
+        assert [f.rule_id for f in findings] == ["R005"]
+        assert "scratch" in findings[0].message
+        findings = lint_source("graph.hindex_bins().fill(0)\n")
+        assert [f.rule_id for f in findings] == ["R005"]
+
+    def test_r005_scratch_dict_exempt_in_graph_classes(self):
+        source = "self._scratch['degrees'] = value\n"
+        assert lint_source(source, path="src/repro/graph/undirected.py") == []
+        assert lint_source(source, path="src/repro/graph/directed.py") == []
+        assert [
+            f.rule_id
+            for f in lint_source(source, path="src/repro/core/pkmc.py")
+        ] == ["R005"]
