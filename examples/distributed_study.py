@@ -14,24 +14,24 @@ iteration saves a full network round.
 Run:  python examples/distributed_study.py
 """
 
-from repro.core import pkmc
 from repro.datasets import load_undirected
-from repro.distributed import ClusterConfig, distributed_pkmc
-from repro.runtime import SimRuntime
+from repro.distributed import ClusterConfig
+from repro.engine import ExecutionContext, run
 
 
 def main() -> None:
     graph = load_undirected("UN")
     print(f"graph: {graph}\n")
 
-    shared = pkmc(graph, runtime=SimRuntime(32))
+    shared = run("pkmc", graph, ExecutionContext(num_threads=32))
     print(f"shared memory (p=32): {shared.simulated_seconds * 1e3:8.3f} ms, "
           f"{shared.iterations} sweeps, k* = {shared.k_star}\n")
 
     print(f"{'workers':>8} {'time (ms)':>10} {'supersteps':>10} "
           f"{'messages':>10} {'cross-edge %':>12}")
     for workers in (1, 2, 4, 8, 16, 32, 64):
-        result = distributed_pkmc(graph, ClusterConfig(num_workers=workers))
+        ctx = ExecutionContext(cluster_config=ClusterConfig(num_workers=workers))
+        result = run("pkmc-bsp", graph, ctx)
         assert result.k_star == shared.k_star  # same answer, always
         print(f"{workers:>8} {result.simulated_seconds * 1e3:>10.3f} "
               f"{result.extras['supersteps']:>10} "
@@ -39,10 +39,9 @@ def main() -> None:
               f"{result.extras['cross_edge_fraction'] * 100:>11.0f}%")
 
     print("\nEarly stop's value grows in BSP (each sweep = a network round):")
-    with_stop = distributed_pkmc(graph, ClusterConfig(num_workers=16))
-    without_stop = distributed_pkmc(
-        graph, ClusterConfig(num_workers=16), early_stop=False
-    )
+    ctx16 = ExecutionContext(cluster_config=ClusterConfig(num_workers=16))
+    with_stop = run("pkmc-bsp", graph, ctx16)
+    without_stop = run("pkmc-bsp", graph, ctx16, early_stop=False)
     print(f"  with Theorem-1 stop : {with_stop.simulated_seconds * 1e3:8.3f} ms "
           f"({with_stop.extras['supersteps']} supersteps)")
     print(f"  full convergence    : {without_stop.simulated_seconds * 1e3:8.3f} ms "

@@ -12,7 +12,7 @@ Run:  python examples/scaling_study.py
 
 from repro import densest_subgraph, directed_densest_subgraph
 from repro.datasets import load_directed, load_undirected
-from repro.runtime import SimRuntime
+from repro.engine import ExecutionContext, run
 
 
 def sweep_uds(abbr: str) -> None:
@@ -30,12 +30,10 @@ def sweep_uds(abbr: str) -> None:
         print("  ".join(row))
 
     # Why PKC flattens: look at its overhead share at p=64.
-    runtime = SimRuntime(num_threads=64)
-    densest_subgraph(graph, method="pkc", runtime=runtime)
-    breakdown = runtime.breakdown
-    overhead = breakdown.spawn + breakdown.barrier
-    print(f"PKC at p=64 spends {overhead / breakdown.total:.0%} of its time in "
-          f"spawn/barrier overhead across {runtime.metrics.parallel_loops} tiny "
+    report = run("pkc", graph, ExecutionContext(num_threads=64)).report
+    overhead = report.breakdown["spawn"] + report.breakdown["barrier"]
+    print(f"PKC at p=64 spends {overhead / report.breakdown['total']:.0%} of its "
+          f"time in spawn/barrier overhead across {report.parallel_loops} tiny "
           f"rounds - the flattening the paper describes.\n")
 
 
@@ -53,12 +51,11 @@ def sweep_dds(abbr: str) -> None:
             row.append(f"{base[method] / result.simulated_seconds:>8.1f}")
         print("  ".join(row))
 
-    runtime = SimRuntime(num_threads=64)
-    directed_densest_subgraph(graph, method="pxy", runtime=runtime)
-    breakdown = runtime.breakdown
-    print(f"PXY at p=64 loses {breakdown.imbalance / breakdown.total:.0%} of its "
-          f"time to load imbalance across its per-x peel tasks - the paper's "
-          f"explanation for its poor self-relative speedup.\n")
+    report = run("pxy", graph, ExecutionContext(num_threads=64)).report
+    print(f"PXY at p=64 loses "
+          f"{report.breakdown['imbalance'] / report.breakdown['total']:.0%} of "
+          f"its time to load imbalance across its per-x peel tasks - the "
+          f"paper's explanation for its poor self-relative speedup.\n")
 
 
 if __name__ == "__main__":

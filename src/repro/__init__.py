@@ -17,10 +17,12 @@ Quick start::
 
 from .api import DDS_METHODS, UDS_METHODS, densest_subgraph, directed_densest_subgraph
 from .core.results import DDSResult, UDSResult
+from .engine import ExecutionContext, RunReport, SolverSpec
 from .errors import (
     AlgorithmError,
     DatasetError,
     EmptyGraphError,
+    EngineError,
     GraphError,
     GraphFormatError,
     ReproError,
@@ -42,6 +44,9 @@ __all__ = [
     "DDS_METHODS",
     "UDSResult",
     "DDSResult",
+    "ExecutionContext",
+    "RunReport",
+    "SolverSpec",
     "UndirectedGraph",
     "DirectedGraph",
     "SimRuntime",
@@ -51,6 +56,7 @@ __all__ = [
     "GraphFormatError",
     "EmptyGraphError",
     "AlgorithmError",
+    "EngineError",
     "SimulationError",
     "SimTimeLimitExceeded",
     "SimMemoryLimitExceeded",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...flow.maxflow import FlowNetwork
 from ...graph.directed import DirectedGraph
@@ -25,6 +26,7 @@ from .common import st_density
 __all__ = ["brute_force_dds", "exact_dds_flow", "exact_dds_core"]
 
 
+@register_solver("brute-force", kind="dds", guarantee="exact", cost="serial")
 def brute_force_dds(graph: DirectedGraph, max_vertices: int = 12) -> DDSResult:
     """Exhaustively find the directed densest subgraph (test oracle)."""
     n = graph.num_vertices
@@ -89,6 +91,7 @@ def _improve_with_cut(
     return s.astype(np.int64), np.sort(t).astype(np.int64)
 
 
+@register_solver("exact", kind="dds", guarantee="exact", cost="serial")
 def exact_dds_flow(graph: DirectedGraph, max_vertices: int = 64) -> DDSResult:
     """Exact DDS by min-cut improvement over all ratio candidates."""
     n = graph.num_vertices
@@ -126,6 +129,7 @@ def exact_dds_flow(graph: DirectedGraph, max_vertices: int = 64) -> DDSResult:
     )
 
 
+@register_solver("exact-core", kind="dds", guarantee="exact", cost="serial")
 def exact_dds_core(graph: DirectedGraph, max_vertices: int = 64) -> DDSResult:
     """Exact DDS with [x, y]-core pruning (Ma et al.'s DC framework).
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.directed import DirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -77,6 +78,9 @@ def _batch_peel_for_ratio(
     return np.flatnonzero(s_mask), np.flatnonzero(t_mask), density, passes
 
 
+@register_solver(
+    "pbd", kind="dds", guarantee="2-approx", cost="parallel", supports_runtime=True
+)
 def pbd_dds(
     graph: DirectedGraph,
     delta: float = 2.0,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.directed import DirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -33,6 +34,9 @@ def _distinct_ratios(n: int, cap: int | None) -> list[float]:
     return sorted(ratios)
 
 
+@register_solver(
+    "pbs", kind="dds", guarantee="2-approx", cost="parallel", supports_runtime=True
+)
 def pbs_dds(
     graph: DirectedGraph,
     runtime: SimRuntime | None = None,

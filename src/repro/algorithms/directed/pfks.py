@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.directed import DirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -25,6 +26,9 @@ from .common import charge_projected_tasks, charikar_directed_peel_for_ratio
 __all__ = ["pfks_dds"]
 
 
+@register_solver(
+    "pfks", kind="dds", guarantee="2-approx", cost="parallel", supports_runtime=True
+)
 def pfks_dds(
     graph: DirectedGraph,
     runtime: SimRuntime | None = None,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.directed import DirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -75,6 +76,9 @@ def _best_prefix_pair(
     return s, t, density
 
 
+@register_solver(
+    "pfw", kind="dds", guarantee="2-approx", cost="parallel", supports_runtime=True
+)
 def pfw_directed_dds(
     graph: DirectedGraph,
     epsilon: float = 1.0,

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.directed import DirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -106,6 +107,9 @@ def _enumerate_x_side(
     return best_product, best_pair, task_costs
 
 
+@register_solver(
+    "pxy", kind="dds", guarantee="2-approx", cost="parallel", supports_runtime=True
+)
 def pxy_dds(
     graph: DirectedGraph,
     runtime: SimRuntime | None = None,

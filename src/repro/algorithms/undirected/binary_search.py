@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...core.results import UDSResult
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.undirected import UndirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -40,6 +41,13 @@ def _max_core_at_least(graph: UndirectedGraph, guess: int) -> tuple[int, np.ndar
     return k_star, original_ids[core]
 
 
+@register_solver(
+    "binary-search",
+    kind="uds",
+    guarantee="2-approx",
+    cost="parallel",
+    supports_runtime=True,
+)
 def kstar_binary_search_uds(
     graph: UndirectedGraph, runtime: SimRuntime | None = None
 ) -> UDSResult:
@@ -67,8 +75,9 @@ def kstar_binary_search_uds(
             high = guess - 1
         del candidate_count
     if best_k == 0:
-        # Degenerate fallback: decompose the whole graph.
-        _, best_k, _, best_core = pkc_core_decomposition(graph)
+        # Degenerate fallback: decompose the whole graph (charged to the
+        # simulated runtime like any other probe).
+        _, best_k, _, best_core = pkc_core_decomposition(graph, runtime=rt)
         probes += 1
     return UDSResult(
         algorithm="BinarySearchK*",

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.peeling import MinDegreeBucketQueue
 from ...graph.undirected import UndirectedGraph
@@ -22,6 +23,9 @@ from ...core.results import UDSResult
 __all__ = ["charikar_peel"]
 
 
+@register_solver(
+    "charikar", kind="uds", guarantee="2-approx", cost="serial", supports_runtime=True
+)
 def charikar_peel(
     graph: UndirectedGraph, runtime: SimRuntime | None = None
 ) -> UDSResult:

@@ -22,6 +22,7 @@ import math
 import numpy as np
 
 from ...core.results import UDSResult
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.undirected import UndirectedGraph
 from .exact import exact_uds_goldberg
@@ -30,6 +31,7 @@ from .pkc import pkc_core_decomposition
 __all__ = ["coreexact_uds"]
 
 
+@register_solver("core-exact", kind="uds", guarantee="exact", cost="serial")
 def coreexact_uds(graph: UndirectedGraph) -> UDSResult:
     """Exact densest subgraph via core-pruned max-flow binary search."""
     if graph.num_edges == 0:

@@ -18,6 +18,7 @@ from itertools import combinations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...flow.maxflow import FlowNetwork
 from ...graph.undirected import UndirectedGraph
@@ -52,6 +53,7 @@ def _goldberg_cut(
     return side[side < n]
 
 
+@register_solver("exact", kind="uds", guarantee="exact", cost="serial")
 def exact_uds_goldberg(graph: UndirectedGraph) -> UDSResult:
     """Return the exact densest subgraph via max-flow binary search."""
     if graph.num_edges == 0:
@@ -81,6 +83,7 @@ def exact_uds_goldberg(graph: UndirectedGraph) -> UDSResult:
     )
 
 
+@register_solver("brute-force", kind="uds", guarantee="exact", cost="serial")
 def brute_force_uds(graph: UndirectedGraph, max_vertices: int = 16) -> UDSResult:
     """Exhaustively find the densest subgraph (test oracle only)."""
     n = graph.num_vertices

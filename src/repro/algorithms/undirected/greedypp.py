@@ -13,6 +13,7 @@ import heapq
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.undirected import UndirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -60,6 +61,9 @@ def _one_load_aware_peel(
     return np.sort(removal_order[best_prefix:]), best_density, new_loads
 
 
+@register_solver(
+    "greedypp", kind="uds", guarantee="heuristic", cost="serial", supports_runtime=True
+)
 def greedypp_uds(
     graph: UndirectedGraph,
     num_rounds: int = 8,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.undirected import UndirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -71,6 +72,15 @@ def local_core_decomposition(
     return new_h if iterations else h, iterations
 
 
+@register_solver(
+    "local",
+    kind="uds",
+    guarantee="2-approx",
+    cost="parallel",
+    supports_runtime=True,
+    supports_frontier=True,
+    supports_sanitize=True,
+)
 def local_uds(
     graph: UndirectedGraph,
     runtime: SimRuntime | None = None,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.undirected import UndirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -30,6 +31,9 @@ __all__ = ["pbu_uds"]
 _STREAM_UNITS_PER_EDGE = 60.0
 
 
+@register_solver(
+    "pbu", kind="uds", guarantee="2-approx", cost="stream", supports_runtime=True
+)
 def pbu_uds(
     graph: UndirectedGraph,
     epsilon: float = 0.5,

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.undirected import UndirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -72,6 +73,9 @@ def best_prefix_density(
     return np.sort(order[: best_k + 1]), float(densities[best_k])
 
 
+@register_solver(
+    "pfw", kind="uds", guarantee="2-approx", cost="parallel", supports_runtime=True
+)
 def pfw_uds(
     graph: UndirectedGraph,
     epsilon: float = 1.0,

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.undirected import UndirectedGraph
 from ...runtime.simruntime import SimRuntime
@@ -69,6 +70,9 @@ def pkc_core_decomposition(
     return core_numbers, k_star, rounds, k_star_core
 
 
+@register_solver(
+    "pkc", kind="uds", guarantee="2-approx", cost="parallel", supports_runtime=True
+)
 def pkc_uds(graph: UndirectedGraph, runtime: SimRuntime | None = None) -> UDSResult:
     """2-approximate UDS via level-synchronous peeling (returns k*-core)."""
     if graph.num_edges == 0:

@@ -20,6 +20,7 @@ import heapq
 import numpy as np
 
 from ...core.results import UDSResult
+from ...engine.spec import register_solver
 from ...errors import EmptyGraphError
 from ...graph.undirected import UndirectedGraph
 from .common import induced_density
@@ -90,6 +91,7 @@ def truss_decomposition(graph: UndirectedGraph) -> tuple[np.ndarray, int]:
     return truss, int(truss.max())
 
 
+@register_solver("max-truss", kind="uds", guarantee="heuristic", cost="serial")
 def max_truss_uds(graph: UndirectedGraph) -> UDSResult:
     """Dense subgraph candidate: the maximum k-truss of the graph.
 

@@ -1,4 +1,4 @@
-"""Project-specific lint rules (R001–R005).
+"""Project-specific lint rules (R001–R006).
 
 Each rule is a small :class:`~repro.analysis.engine.Rule` visitor with an
 id, severity, and fix hint; ``DEFAULT_RULES`` is the registry the engine
@@ -13,6 +13,7 @@ from .determinism import DeterminismRule
 from .docstrings import PublicDocstringRule
 from .exceptions import ExceptionHygieneRule
 from .float_compare import FloatDensityCompareRule
+from .registry import SolverRegistryRule
 
 DEFAULT_RULES = (
     DeterminismRule,
@@ -20,6 +21,7 @@ DEFAULT_RULES = (
     PublicDocstringRule,
     FloatDensityCompareRule,
     CsrMutationRule,
+    SolverRegistryRule,
 )
 
 __all__ = [
@@ -29,4 +31,5 @@ __all__ = [
     "PublicDocstringRule",
     "FloatDensityCompareRule",
     "CsrMutationRule",
+    "SolverRegistryRule",
 ]

@@ -1,0 +1,167 @@
+"""R006 — solvers go through the registry, never around it.
+
+The solver registry (:mod:`repro.engine.spec`) is the single source of
+truth for which algorithms exist: ``repro.api``, the CLI, the benchmark
+harness and the tests all enumerate it.  A solver that is defined but not
+registered is invisible to every one of them, and code that pokes entries
+into the method tables by hand bypasses the :class:`~repro.engine.spec.
+SolverSpec` capability checks the engine relies on.  Two patterns are
+flagged:
+
+* a module-level solver entry point (a public function named ``*_uds`` /
+  ``*_dds``, or one of the paper algorithms ``pkmc`` / ``pwc`` /
+  ``distributed_pkmc`` / ``distributed_pwc``) inside a solver package
+  without an ``@register_solver(...)`` decorator;
+* any mutation of the method tables or the registry itself
+  (``UDS_METHODS[...] = ...``, ``DDS_METHODS.pop(...)``,
+  ``SOLVER_REGISTRY.update(...)``, ``del _REGISTRY[...]``) outside
+  ``engine/spec.py``, which owns the storage.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["SolverRegistryRule"]
+
+# Packages whose module-level solver entry points must self-register.
+_SOLVER_PACKAGE_MARKERS = (
+    "algorithms/undirected/",
+    "algorithms/directed/",
+    "repro/distributed/",
+)
+_SOLVER_MODULE_SUFFIXES = ("core/pkmc.py", "core/pwc.py")
+
+# Function names that denote a solver entry point.
+_SOLVER_EXACT_NAMES = {"pkmc", "pwc", "distributed_pkmc", "distributed_pwc"}
+_SOLVER_NAME_SUFFIXES = ("_uds", "_dds")
+
+# Names holding the registry or its public method-table views.
+_REGISTRY_NAMES = {"UDS_METHODS", "DDS_METHODS", "SOLVER_REGISTRY", "_REGISTRY"}
+
+# dict methods that mutate the receiver.
+_MUTATING_METHODS = {"update", "pop", "clear", "setdefault", "popitem"}
+
+# The registry's owner may mutate its own storage.
+_EXEMPT_SUFFIXES = ("engine/spec.py",)
+
+
+def _is_solver_name(name: str) -> bool:
+    return not name.startswith("_") and (
+        name in _SOLVER_EXACT_NAMES or name.endswith(_SOLVER_NAME_SUFFIXES)
+    )
+
+
+def _is_register_decorator(decorator: ast.expr) -> bool:
+    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+    if isinstance(target, ast.Attribute):
+        return target.attr == "register_solver"
+    return isinstance(target, ast.Name) and target.id == "register_solver"
+
+
+def _registry_name(node: ast.expr) -> str | None:
+    """Return the registry/table name if ``node`` refers to one."""
+    if isinstance(node, ast.Name) and node.id in _REGISTRY_NAMES:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _REGISTRY_NAMES:
+        return node.attr
+    return None
+
+
+class SolverRegistryRule(Rule):
+    """R006: solver modules register via @register_solver; nobody hand-edits the tables."""
+
+    rule_id = "R006"
+    title = "solvers register through @register_solver; method tables are read-only"
+    severity = "error"
+    fix_hint = (
+        "decorate the solver with @register_solver(name, kind=..., "
+        "guarantee=..., cost=...) from repro.engine.spec; never assign "
+        "into UDS_METHODS/DDS_METHODS or the registry"
+    )
+
+    def _in_solver_module(self) -> bool:
+        path = self.context.posix_path
+        return (
+            any(marker in path for marker in _SOLVER_PACKAGE_MARKERS)
+            or path.endswith(_SOLVER_MODULE_SUFFIXES)
+        )
+
+    def _exempt(self) -> bool:
+        return self.context.posix_path.endswith(_EXEMPT_SUFFIXES)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Flag module-level solver entry points missing the decorator."""
+        if (
+            node.col_offset == 0
+            and self._in_solver_module()
+            and _is_solver_name(node.name)
+            and not any(_is_register_decorator(d) for d in node.decorator_list)
+        ):
+            self.report(
+                node,
+                f"solver entry point `{node.name}` is not registered; "
+                "add @register_solver(...) so the engine, API and CLI "
+                "can dispatch to it",
+            )
+        self.generic_visit(node)
+
+    def _check_store_target(self, target: ast.expr) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store_target(element)
+            return
+        if isinstance(target, ast.Subscript):
+            name = _registry_name(target.value)
+            if name is not None:
+                self.report(
+                    target,
+                    f"entry write into solver table `{name}`; register the "
+                    "solver with @register_solver instead",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Check plain assignments into the tables."""
+        if not self._exempt():
+            for target in node.targets:
+                self._check_store_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        """Check augmented assignments into the tables."""
+        if not self._exempt():
+            self._check_store_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        """Check ``del`` of table entries."""
+        if not self._exempt():
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    name = _registry_name(target.value)
+                    if name is not None:
+                        self.report(
+                            target,
+                            f"entry delete from solver table `{name}`; use "
+                            "repro.engine.spec.unregister_solver (tests: "
+                            "temporary_solver)",
+                        )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Check mutating dict-method calls on the tables."""
+        if (
+            not self._exempt()
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+        ):
+            name = _registry_name(node.func.value)
+            if name is not None:
+                self.report(
+                    node,
+                    f"mutating `{node.func.attr}()` on solver table "
+                    f"`{name}`; the tables are read-only registry views",
+                )
+        self.generic_visit(node)

@@ -2,7 +2,9 @@
 
 These are the two functions a downstream user calls; every algorithm in
 the library is reachable through the ``method`` parameter, with the
-paper's parallel algorithms (PKMC, PWC) as defaults.
+paper's parallel algorithms (PKMC, PWC) as defaults.  Both dispatch
+through :func:`repro.engine.run`, so every result carries a structured
+:class:`~repro.engine.report.RunReport` in ``.report``.
 
 >>> from repro import densest_subgraph
 >>> from repro.graph import UndirectedGraph
@@ -14,37 +16,9 @@ paper's parallel algorithms (PKMC, PWC) as defaults.
 
 from __future__ import annotations
 
-from typing import Callable
-
-from .algorithms.directed import (
-    brute_force_dds,
-    exact_dds_flow,
-    pbd_dds,
-    pbs_dds,
-    pfks_dds,
-    pfw_directed_dds,
-    pxy_dds,
-)
-from .algorithms.undirected import (
-    brute_force_uds,
-    charikar_peel,
-    coreexact_uds,
-    exact_uds_goldberg,
-    greedypp_uds,
-    kstar_binary_search_uds,
-    local_uds,
-    max_truss_uds,
-    pbu_uds,
-    pfw_uds,
-    pkc_uds,
-)
-from .core.pkmc import pkmc
-from .core.pwc import pwc
 from .core.results import DDSResult, UDSResult
-from .errors import AlgorithmError
-from .graph.directed import DirectedGraph
-from .graph.undirected import UndirectedGraph
-from .runtime.simruntime import SimRuntime
+from .engine import ExecutionContext, get_solver, methods_view
+from .engine import run as _engine_run
 
 __all__ = [
     "densest_subgraph",
@@ -53,83 +27,51 @@ __all__ = [
     "DDS_METHODS",
 ]
 
-UDS_METHODS: dict[str, Callable[..., UDSResult]] = {
-    "pkmc": pkmc,
-    "local": local_uds,
-    "pkc": pkc_uds,
-    "pbu": pbu_uds,
-    "pfw": pfw_uds,
-    "charikar": charikar_peel,
-    "greedypp": greedypp_uds,
-    "exact": exact_uds_goldberg,
-    "core-exact": coreexact_uds,
-    "binary-search": kstar_binary_search_uds,
-    "max-truss": max_truss_uds,
-    "brute-force": brute_force_uds,
-}
+#: Live view of the registered UDS solvers.
+#:
+#: .. deprecated:: kept as a compatibility shim over the solver registry;
+#:    use :func:`repro.engine.get_solver` / :func:`repro.engine.run` (or
+#:    ``repro-dsd --list-methods``) in new code.
+UDS_METHODS = methods_view("uds")
 
-DDS_METHODS: dict[str, Callable[..., DDSResult]] = {
-    "pwc": pwc,
-    "pxy": pxy_dds,
-    "pbd": pbd_dds,
-    "pfw": pfw_directed_dds,
-    "pbs": pbs_dds,
-    "pfks": pfks_dds,
-    "exact": exact_dds_flow,
-    "brute-force": brute_force_dds,
-}
-
-_NO_RUNTIME_METHODS = {"exact", "brute-force", "core-exact", "max-truss"}
+#: Live view of the registered DDS solvers (same deprecation note as
+#: :data:`UDS_METHODS`).
+DDS_METHODS = methods_view("dds")
 
 
 def densest_subgraph(
-    graph: UndirectedGraph,
+    graph,
     method: str = "pkmc",
     num_threads: int = 1,
     **options,
 ) -> UDSResult:
     """Find a densest subgraph of an undirected graph.
 
-    ``method`` selects the algorithm (see :data:`UDS_METHODS`); the
-    default PKMC is the paper's parallel 2-approximation.  ``num_threads``
-    configures the simulated parallel runtime; extra keyword ``options``
-    are forwarded to the algorithm (e.g. ``epsilon`` for ``"pbu"``).
+    ``method`` selects the algorithm (see ``repro-dsd --list-methods`` or
+    :data:`UDS_METHODS`); the default PKMC is the paper's parallel
+    2-approximation.  ``num_threads`` configures the simulated parallel
+    runtime; extra keyword ``options`` are forwarded to the algorithm
+    (e.g. ``epsilon`` for ``"pbu"``).  A ``runtime=`` option is honoured
+    for runtime-capable solvers and ignored by serial ones, exactly as
+    :func:`repro.engine.run` documents.
     """
-    solver = UDS_METHODS.get(method)
-    if solver is None:
-        raise AlgorithmError(
-            f"unknown UDS method {method!r}; choose from {sorted(UDS_METHODS)}"
-        )
-    runtime = options.pop("runtime", None)
-    if method in _NO_RUNTIME_METHODS:
-        # Serial solvers take no runtime; a caller-provided one (e.g. the
-        # CLI's --sanitize) is accepted and simply has nothing to observe.
-        return solver(graph, **options)
-    runtime = runtime or SimRuntime(num_threads=num_threads)
-    return solver(graph, runtime=runtime, **options)
+    spec = get_solver("uds", method)
+    ctx = ExecutionContext(num_threads=num_threads)
+    return _engine_run(spec, graph, ctx, **options)
 
 
 def directed_densest_subgraph(
-    graph: DirectedGraph,
+    graph,
     method: str = "pwc",
     num_threads: int = 1,
     **options,
 ) -> DDSResult:
     """Find a densest (S, T)-subgraph of a directed graph.
 
-    ``method`` selects the algorithm (see :data:`DDS_METHODS`); the
-    default PWC is the paper's parallel 2-approximation based on the
-    w*-induced subgraph.
+    ``method`` selects the algorithm (see ``repro-dsd --list-methods`` or
+    :data:`DDS_METHODS`); the default PWC is the paper's parallel
+    2-approximation based on the w*-induced subgraph.
     """
-    solver = DDS_METHODS.get(method)
-    if solver is None:
-        raise AlgorithmError(
-            f"unknown DDS method {method!r}; choose from {sorted(DDS_METHODS)}"
-        )
-    runtime = options.pop("runtime", None)
-    if method in _NO_RUNTIME_METHODS:
-        # Serial solvers take no runtime; a caller-provided one (e.g. the
-        # CLI's --sanitize) is accepted and simply has nothing to observe.
-        return solver(graph, **options)
-    runtime = runtime or SimRuntime(num_threads=num_threads)
-    return solver(graph, runtime=runtime, **options)
+    spec = get_solver("dds", method)
+    ctx = ExecutionContext(num_threads=num_threads)
+    return _engine_run(spec, graph, ctx, **options)

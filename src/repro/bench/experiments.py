@@ -24,10 +24,6 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from ..algorithms.directed import pbd_dds, pbs_dds, pfks_dds, pfw_directed_dds, pxy_dds
-from ..algorithms.undirected import local_uds, pbu_uds, pfw_uds, pkc_uds
-from ..core.pkmc import pkmc
-from ..core.pwc import pwc
 from ..datasets.registry import dataset_names, get_spec, load_directed, load_undirected
 from ..graph.sampling import DEFAULT_FRACTIONS, edge_fraction_series
 from .config import (
@@ -55,29 +51,31 @@ __all__ = [
 ]
 
 # Algorithms in the paper's legend order, with the paper's parameters.
-UDS_ALGORITHMS: dict[str, tuple[Callable, dict]] = {
-    "PFW": (pfw_uds, {"epsilon": 1.0}),
-    "PBU": (pbu_uds, {"epsilon": 0.5}),
-    "Local": (local_uds, {}),
-    "PKC": (pkc_uds, {}),
-    "PKMC": (pkmc, {}),
+# The legend name's lower-case form is the solver's registry name; the
+# callables live in the solver registry (see repro.engine), so only the
+# per-algorithm options remain here.
+UDS_ALGORITHMS: dict[str, dict] = {
+    "PFW": {"epsilon": 1.0},
+    "PBU": {"epsilon": 0.5},
+    "Local": {},
+    "PKC": {},
+    "PKMC": {},
 }
 
-DDS_ALGORITHMS: dict[str, tuple[Callable, dict]] = {
-    "PBS": (pbs_dds, {}),
-    "PFKS": (pfks_dds, {}),
-    "PFW": (pfw_directed_dds, {"epsilon": 1.0}),
-    "PBD": (pbd_dds, {"delta": 2.0, "epsilon": 1.0}),
-    "PXY": (pxy_dds, {}),
-    "PWC": (pwc, {}),
+DDS_ALGORITHMS: dict[str, dict] = {
+    "PBS": {},
+    "PFKS": {},
+    "PFW": {"epsilon": 1.0},
+    "PBD": {"delta": 2.0, "epsilon": 1.0},
+    "PXY": {},
+    "PWC": {},
 }
 
 
 def _uds_cell(abbr: str, name: str, graph, threads: int) -> RunRecord:
-    solver, options = UDS_ALGORITHMS[name]
     return run_cell(
-        abbr, name, solver, graph, threads,
-        time_limit=UDS_TIME_LIMIT, **options,
+        abbr, name, graph, threads,
+        time_limit=UDS_TIME_LIMIT, **UDS_ALGORITHMS[name],
     )
 
 
@@ -88,12 +86,11 @@ def _dds_cell(
     threads: int,
     time_limit: float | None = DDS_TIME_LIMIT,
 ) -> RunRecord:
-    solver, options = DDS_ALGORITHMS[name]
     return run_cell(
-        abbr, name, solver, graph, threads,
+        abbr, name, graph, threads,
         time_limit=time_limit,
         memory_limit=scaled_memory_limit(get_spec(abbr)),
-        **options,
+        **DDS_ALGORITHMS[name],
     )
 
 

@@ -4,16 +4,23 @@ Every cell yields a :class:`RunRecord` with the simulated time (the
 paper's y-axis), the wall-clock time of the host execution, the status
 (``ok`` / ``DNF`` / ``OOM``, matching the paper's bar-at-the-boundary and
 missing-point conventions), and the solution quality.
+
+Cells dispatch through :func:`repro.engine.run`: ``algorithm`` is the
+paper's legend name (``"PKMC"``, ``"PXY"``, ...) and its lower-case form
+is the solver's registry name, so the experiment tables need no hand-kept
+callable maps.  Finished cells carry the engine's
+:class:`~repro.engine.report.RunReport` in ``RunRecord.report``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
+from ..engine import ExecutionContext, resolve_solver
+from ..engine import run as engine_run
 from ..errors import SimMemoryLimitExceeded, SimTimeLimitExceeded
-from ..runtime.simruntime import SimRuntime
 
 __all__ = ["RunRecord", "run_cell", "format_status"]
 
@@ -31,6 +38,7 @@ class RunRecord:
     iterations: int = 0
     density: float = 0.0
     extras: dict[str, Any] = field(default_factory=dict)
+    report: Any = None  # RunReport for finished cells, None for DNF/OOM
 
     @property
     def ok(self) -> bool:
@@ -41,26 +49,31 @@ class RunRecord:
 def run_cell(
     dataset: str,
     algorithm: str,
-    solver: Callable,
     graph,
     threads: int,
     time_limit: float | None = None,
     memory_limit: float | None = None,
     **options,
 ) -> RunRecord:
-    """Run ``solver(graph, runtime=...)`` under the experiment budgets."""
-    runtime = SimRuntime(
+    """Run one experiment cell under the paper's budgets.
+
+    ``algorithm`` is the legend name; ``algorithm.lower()`` must be a
+    registered solver of the kind matching ``graph``.  Extra keyword
+    ``options`` are forwarded to the solver (e.g. ``epsilon=0.5``).
+    """
+    spec = resolve_solver(algorithm.lower(), graph)
+    ctx = ExecutionContext(
         num_threads=threads,
         time_limit=time_limit,
         memory_limit_bytes=memory_limit,
     )
     started = time.perf_counter()  # repro-lint: disable=R001 (real wall-clock measurement)
     try:
-        result = solver(graph, runtime=runtime, **options)
+        result = engine_run(spec, graph, ctx, **options)
     except SimTimeLimitExceeded:
         return RunRecord(
             dataset, algorithm, threads, "DNF",
-            simulated_seconds=float(time_limit or runtime.now),
+            simulated_seconds=float(time_limit or ctx.simulated_seconds),
             wall_seconds=time.perf_counter() - started,  # repro-lint: disable=R001 (real wall-clock measurement)
         )
     except SimMemoryLimitExceeded:
@@ -80,6 +93,7 @@ def run_cell(
         iterations=result.iterations,
         density=result.density,
         extras=dict(result.extras),
+        report=result.report,
     )
 
 

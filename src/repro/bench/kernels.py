@@ -30,13 +30,11 @@ import time
 
 import numpy as np
 
-from ..algorithms.undirected.local import local_uds
-from ..core.pkmc import pkmc
-from ..core.pwc import pwc
+from ..engine import ExecutionContext
+from ..engine import run as engine_run
 from ..graph import chung_lu_directed, chung_lu_undirected
 from ..kernels.frontier import frontier_synchronous_sweep
 from ..kernels.segments import reference_segment_h_index, segment_h_index
-from ..runtime.simruntime import SimRuntime
 from .config import DEFAULT_THREADS
 
 __all__ = ["run_kernel_bench", "check_regression", "render_kernel_report"]
@@ -101,13 +99,15 @@ def _run_tail_frontier(graph, h_start, frontier_start):
     return h, sweeps
 
 
-def _simulated_pair(run, threads: int) -> dict:
+def _simulated_pair(solver: str, graph, threads: int, **options) -> dict:
     """Simulated seconds of one solver with and without the frontier path."""
-    frontier_rt = SimRuntime(num_threads=threads)
-    run(frontier_rt, True)
-    full_rt = SimRuntime(num_threads=threads)
-    run(full_rt, False)
-    return {"frontier_s": frontier_rt.now, "full_s": full_rt.now}
+
+    def one(frontier: bool) -> float:
+        ctx = ExecutionContext(num_threads=threads, frontier=frontier)
+        engine_run(solver, graph, ctx, **options)
+        return ctx.simulated_seconds
+
+    return {"frontier_s": one(True), "full_s": one(False)}
 
 
 def run_kernel_bench(
@@ -158,21 +158,12 @@ def run_kernel_bench(
 
     # --- simulated parallel seconds: frontier on vs off ------------------
     simulated = {
-        "pkmc_synchronous": _simulated_pair(
-            lambda rt, f: pkmc(undirected, runtime=rt, frontier=f), threads
-        ),
+        "pkmc_synchronous": _simulated_pair("pkmc", undirected, threads),
         "pkmc_degree_order": _simulated_pair(
-            lambda rt, f: pkmc(
-                undirected, runtime=rt, sweep="degree_order", frontier=f
-            ),
-            threads,
+            "pkmc", undirected, threads, sweep="degree_order"
         ),
-        "local": _simulated_pair(
-            lambda rt, f: local_uds(undirected, runtime=rt, frontier=f), threads
-        ),
-        "pwc": _simulated_pair(
-            lambda rt, f: pwc(directed, runtime=rt, frontier=f), threads
-        ),
+        "local": _simulated_pair("local", undirected, threads),
+        "pwc": _simulated_pair("pwc", directed, threads),
     }
 
     return {

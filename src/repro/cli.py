@@ -6,6 +6,13 @@ Examples::
     repro-dsd follows.txt --directed             # PWC on a directed graph
     repro-dsd graph.txt --method exact --top-component
     repro-dsd graph.txt --method pbu --threads 32 --option epsilon=0.5
+    repro-dsd --list-methods                     # solver registry table
+
+Dispatch goes through :func:`repro.engine.run`: the method name is
+resolved in the solver registry, the thread count / sanitizer / frontier
+toggles travel in one :class:`~repro.engine.context.ExecutionContext`,
+and the printed simulated time comes from the attached
+:class:`~repro.engine.report.RunReport`.
 """
 
 from __future__ import annotations
@@ -13,11 +20,11 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .api import DDS_METHODS, UDS_METHODS, densest_subgraph, directed_densest_subgraph
-from .errors import ReproError
+from .engine import ExecutionContext, get_solver, registry_table
+from .engine import run as engine_run
+from .errors import EngineError, ReproError
 from .graph.components import densest_component
 from .graph.io import read_directed_edgelist, read_undirected_edgelist
-from .runtime.simruntime import SimRuntime
 
 __all__ = ["main"]
 
@@ -27,7 +34,12 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro-dsd",
         description="Densest subgraph discovery (Luo et al., ICDE 2023 reproduction).",
     )
-    parser.add_argument("path", help="edge-list file (one 'u v' pair per line)")
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="edge-list file (one 'u v' pair per line)",
+    )
     parser.add_argument(
         "--directed",
         action="store_true",
@@ -36,13 +48,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--method",
         default=None,
-        help=(
-            "algorithm to run (undirected: "
-            + ", ".join(sorted(UDS_METHODS))
-            + "; directed: "
-            + ", ".join(sorted(DDS_METHODS))
-            + "); default pkmc / pwc"
-        ),
+        help="algorithm to run, by registry name (see --list-methods); "
+        "default pkmc / pwc",
+    )
+    parser.add_argument(
+        "--list-methods",
+        action="store_true",
+        help="print the solver registry (name, guarantee, cost, "
+        "capabilities) and exit",
     )
     parser.add_argument(
         "--threads",
@@ -62,6 +75,12 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run kernels under the parfor race sanitizer "
         "(repro.analysis.race) and print a per-loop verdict",
+    )
+    parser.add_argument(
+        "--no-frontier",
+        action="store_true",
+        help="disable the frontier (active-set) kernels for methods that "
+        "support them, reproducing the full-sweep costing",
     )
     parser.add_argument(
         "--top-component",
@@ -103,19 +122,28 @@ def _format_members(labels: list, ids, limit: int) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
-    runtime = None
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_methods:
+        print(registry_table())
+        return 0
+    if args.path is None:
+        parser.error("path is required (or use --list-methods)")
     try:
         options = _parse_options(args.option)
-        if args.sanitize:
-            runtime = SimRuntime(num_threads=args.threads, sanitize=True)
-            options["runtime"] = runtime
+        ctx = ExecutionContext(num_threads=args.threads, sanitize=args.sanitize)
+        kind = "dds" if args.directed else "uds"
+        spec = get_solver(kind, args.method or ("pwc" if args.directed else "pkmc"))
+        if args.no_frontier:
+            if not spec.supports_frontier:
+                raise EngineError(
+                    f"method {spec.name!r} has no frontier kernels; "
+                    "--no-frontier does not apply"
+                )
+            ctx.frontier = False
         if args.directed:
             graph, labels = read_directed_edgelist(args.path)
-            method = args.method or "pwc"
-            result = directed_densest_subgraph(
-                graph, method=method, num_threads=args.threads, **options
-            )
+            result = engine_run(spec, graph, ctx, **options)
             print(f"graph   : {graph}")
             print(f"method  : {result.algorithm}")
             print(f"density : {result.density:.6g}")
@@ -129,10 +157,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"{_format_members(labels, result.t, args.max_vertices)}")
         else:
             graph, labels = read_undirected_edgelist(args.path)
-            method = args.method or "pkmc"
-            result = densest_subgraph(
-                graph, method=method, num_threads=args.threads, **options
-            )
+            result = engine_run(spec, graph, ctx, **options)
             vertices = result.vertices
             density = result.density
             if args.top_component:
@@ -144,14 +169,20 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"k*      : {result.k_star}")
             print(f"|S|={len(vertices)}  S = "
                   f"{_format_members(labels, vertices, args.max_vertices)}")
-        if result.simulated_seconds:
+        report = result.report
+        if report.simulated_seconds:
             print(f"simulated time ({args.threads} threads): "
-                  f"{result.simulated_seconds:.6g} s")
-        if runtime is not None and runtime.sanitizer is not None:
-            reports = runtime.sanitizer.reports
+                  f"{report.simulated_seconds:.6g} s")
+        if args.sanitize:
+            runtime = ctx.runtime
+            reports = (
+                runtime.sanitizer.reports
+                if runtime is not None and runtime.sanitizer is not None
+                else []
+            )
             if reports:
-                for report in reports:
-                    print(f"sanitizer: {report.summary()}")
+                for loop_report in reports:
+                    print(f"sanitizer: {loop_report.summary()}")
             else:
                 print("sanitizer: no instrumented parallel loops observed "
                       "for this method")

@@ -21,6 +21,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..engine.spec import register_solver
 from ..errors import EmptyGraphError
 from ..graph.undirected import UndirectedGraph
 from ..kernels.density import induced_density
@@ -48,6 +49,15 @@ def _core_density(graph: UndirectedGraph, vertices: np.ndarray) -> float:
     return induced_density(graph, vertices)
 
 
+@register_solver(
+    "pkmc",
+    kind="uds",
+    guarantee="2-approx",
+    cost="parallel",
+    supports_runtime=True,
+    supports_frontier=True,
+    supports_sanitize=True,
+)
 def pkmc(
     graph: UndirectedGraph,
     runtime: SimRuntime | None = None,

@@ -24,6 +24,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..engine.spec import register_solver
 from ..errors import AlgorithmError, EmptyGraphError
 from ..graph.directed import DirectedGraph
 from ..runtime.simruntime import SimRuntime
@@ -160,6 +161,14 @@ def derive_cn_pair_collapse(
     return None
 
 
+@register_solver(
+    "pwc",
+    kind="dds",
+    guarantee="2-approx",
+    cost="parallel",
+    supports_runtime=True,
+    supports_frontier=True,
+)
 def pwc(
     graph: DirectedGraph,
     runtime: SimRuntime | None = None,

@@ -8,9 +8,12 @@ treat them uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.report import RunReport
 
 __all__ = ["UDSResult", "DDSResult"]
 
@@ -24,6 +27,8 @@ class UDSResult:
     is filled by core-based algorithms; ``iterations`` counts the
     algorithm's outer iterations (the quantity of paper Table 6);
     ``simulated_seconds`` is the SimRuntime clock if one was supplied.
+    ``report`` is the structured :class:`~repro.engine.report.RunReport`
+    attached by :func:`repro.engine.run` (None for direct solver calls).
     """
 
     algorithm: str
@@ -33,6 +38,7 @@ class UDSResult:
     k_star: int | None = None
     simulated_seconds: float = 0.0
     extras: dict[str, Any] = field(default_factory=dict)
+    report: "RunReport | None" = None
 
     @property
     def num_vertices(self) -> int:
@@ -54,6 +60,8 @@ class DDSResult:
     ``s`` and ``t`` are the two (not necessarily disjoint) vertex sets;
     ``density`` is |E(S,T)| / sqrt(|S||T|).  Core-based algorithms fill the
     maximum cn-pair ``(x, y)`` and PWC additionally reports ``w_star``.
+    ``report`` is the structured :class:`~repro.engine.report.RunReport`
+    attached by :func:`repro.engine.run` (None for direct solver calls).
     """
 
     algorithm: str
@@ -66,6 +74,7 @@ class DDSResult:
     iterations: int = 0
     simulated_seconds: float = 0.0
     extras: dict[str, Any] = field(default_factory=dict)
+    report: "RunReport | None" = None
 
     @property
     def s_size(self) -> int:

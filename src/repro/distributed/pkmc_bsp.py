@@ -23,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.results import UDSResult
+from ..engine.spec import register_solver
 from ..errors import EmptyGraphError
 from ..graph.undirected import UndirectedGraph
 from ..kernels.density import induced_density
@@ -43,6 +44,9 @@ def _cross_neighbor_counts(graph: UndirectedGraph, owner: np.ndarray) -> np.ndar
     return counts
 
 
+@register_solver(
+    "pkmc-bsp", kind="uds", guarantee="2-approx", cost="bsp", supports_cluster=True
+)
 def distributed_pkmc(
     graph: UndirectedGraph,
     config: ClusterConfig | None = None,

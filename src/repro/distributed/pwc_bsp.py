@@ -26,6 +26,7 @@ from ..core.pwc import derive_cn_pair_collapse, derive_cn_pair_divisor
 from ..core.results import DDSResult
 from ..core.winduced import WStarResult
 from ..core.xycore import xy_core
+from ..engine.spec import register_solver
 from ..errors import EmptyGraphError
 from ..graph.directed import DirectedGraph
 from .cluster import ClusterConfig
@@ -82,6 +83,9 @@ class _EdgeBSPAccountant:
         return float(np.mean(self.src_owner != self.dst_owner))
 
 
+@register_solver(
+    "pwc-bsp", kind="dds", guarantee="2-approx", cost="bsp", supports_cluster=True
+)
 def distributed_pwc(
     graph: DirectedGraph,
     config: ClusterConfig | None = None,

@@ -1,0 +1,63 @@
+"""Execution context: the one object threading run configuration to solvers.
+
+Before the engine existed, every call site hand-threaded ``runtime=``,
+``frontier=`` and thread counts into each solver, and each solver
+re-implemented the ``runtime or SimRuntime(...)`` dance.  An
+:class:`ExecutionContext` replaces that: build one per run (or let
+:func:`repro.engine.run` build a default), and the engine forwards each
+field only to solvers whose :class:`~repro.engine.spec.SolverSpec`
+declares the matching capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..runtime.simruntime import SimRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..distributed.cluster import ClusterConfig
+
+__all__ = ["ExecutionContext"]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything a solver run may consume, in one place.
+
+    ``runtime`` is created lazily by :meth:`ensure_runtime` (honouring
+    ``num_threads``, ``sanitize`` and the budgets) the first time a
+    runtime-capable solver runs, so serial solvers never pay for one and
+    an explicitly supplied :class:`~repro.runtime.simruntime.SimRuntime`
+    is always respected.  ``frontier=None`` means "solver default";
+    ``seed`` reaches only solvers declaring ``supports_seed``;
+    ``cluster_config`` reaches only the BSP ports.  ``extras`` is a
+    free-form metrics sink call sites may use to stash run annotations.
+    """
+
+    num_threads: int = 1
+    runtime: SimRuntime | None = None
+    seed: int | None = None
+    sanitize: bool = False
+    frontier: bool | None = None
+    time_limit: float | None = None
+    memory_limit_bytes: float | None = None
+    cluster_config: "ClusterConfig | None" = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def ensure_runtime(self) -> SimRuntime:
+        """Return the context's runtime, building one on first use."""
+        if self.runtime is None:
+            self.runtime = SimRuntime(
+                num_threads=self.num_threads,
+                time_limit=self.time_limit,
+                memory_limit_bytes=self.memory_limit_bytes,
+                sanitize=self.sanitize,
+            )
+        return self.runtime
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Simulated seconds charged so far (0.0 before any runtime work)."""
+        return self.runtime.now if self.runtime is not None else 0.0

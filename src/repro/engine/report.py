@@ -1,0 +1,104 @@
+"""Structured run reports attached to every engine-dispatched result.
+
+A :class:`RunReport` is the uniform "what happened" record the paper's
+tables need: which solver ran, under which guarantee, how many
+sweeps/rounds it took, the simulated parallel seconds, the peak frontier
+(largest single parallel loop), and the solution density.  The engine
+attaches one to every :class:`~repro.core.results.UDSResult` /
+:class:`~repro.core.results.DDSResult` it returns; the construction is a
+pure function of (spec, result, runtime), so a report built from a
+direct solver call with the same runtime is equal to the engine's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.simruntime import SimRuntime
+    from .spec import SolverSpec
+
+__all__ = ["RunReport"]
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Uniform outcome record for one solver run.
+
+    ``iterations`` is the solver's own outer-iteration count (sweeps for
+    the h-index family, peeling passes or rounds elsewhere — the paper's
+    Table-6 quantity).  ``peak_frontier`` is the largest number of items
+    any single parallel loop processed (the frontier kernels' high-water
+    mark); ``parallel_loops``, ``peak_memory_bytes`` and ``breakdown``
+    come from the run's :class:`~repro.runtime.metrics.RunMetrics` and
+    are zero/empty for solvers that run without a simulated runtime.
+    """
+
+    solver: str
+    kind: str
+    guarantee: str
+    cost: str
+    density: float
+    iterations: int
+    simulated_seconds: float
+    num_threads: int = 1
+    peak_frontier: int = 0
+    parallel_loops: int = 0
+    peak_memory_bytes: int = 0
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_run(
+        cls,
+        spec: "SolverSpec",
+        result: Any,
+        runtime: "SimRuntime | None" = None,
+    ) -> "RunReport":
+        """Build the report for ``result`` produced by ``spec``'s solver.
+
+        Deterministic in its inputs: the engine and a direct solver call
+        that used the same runtime produce equal reports.
+        """
+        if runtime is not None:
+            metrics = runtime.metrics
+            return cls(
+                solver=spec.name,
+                kind=spec.kind,
+                guarantee=spec.guarantee,
+                cost=spec.cost,
+                density=result.density,
+                iterations=result.iterations,
+                simulated_seconds=runtime.now,
+                num_threads=runtime.num_threads,
+                peak_frontier=metrics.max_parfor_items,
+                parallel_loops=metrics.parallel_loops,
+                peak_memory_bytes=metrics.peak_memory_bytes,
+                breakdown=metrics.breakdown.as_dict(),
+            )
+        return cls(
+            solver=spec.name,
+            kind=spec.kind,
+            guarantee=spec.guarantee,
+            cost=spec.cost,
+            density=result.density,
+            iterations=result.iterations,
+            simulated_seconds=result.simulated_seconds,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (for bench records and CLI output)."""
+        return {
+            "solver": self.solver,
+            "kind": self.kind,
+            "guarantee": self.guarantee,
+            "cost": self.cost,
+            "density": self.density,
+            "iterations": self.iterations,
+            "simulated_seconds": self.simulated_seconds,
+            "num_threads": self.num_threads,
+            "peak_frontier": self.peak_frontier,
+            "parallel_loops": self.parallel_loops,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "breakdown": dict(self.breakdown),
+        }

@@ -1,0 +1,139 @@
+"""The execution engine: one dispatch path for every registered solver.
+
+:func:`run` resolves a solver (by :class:`~repro.engine.spec.SolverSpec`
+or registry name), forwards exactly the context fields the spec's
+capability flags claim, executes it, verifies the runtime contract
+(a ``supports_runtime`` solver must have charged costs to the runtime it
+was given), and attaches a :class:`~repro.engine.report.RunReport` to
+the result.  API, CLI, benchmark harness and examples all dispatch
+through here, so behaviours like budgets, sanitizing and frontier
+toggles are configured in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import EngineError
+from ..graph.directed import DirectedGraph
+from ..graph.undirected import UndirectedGraph
+from .context import ExecutionContext
+from .report import RunReport
+from .spec import SolverSpec, get_solver, solver_specs
+
+__all__ = ["run", "resolve_solver", "registry_table"]
+
+
+def resolve_solver(solver: SolverSpec | str, graph: Any) -> SolverSpec:
+    """Resolve ``solver`` to a spec, inferring the kind from ``graph``.
+
+    A string is looked up in the registry under the kind matching the
+    graph's type (:class:`UndirectedGraph` → ``uds``,
+    :class:`DirectedGraph` → ``dds``); a spec passes through unchanged.
+    """
+    if isinstance(solver, SolverSpec):
+        return solver
+    if isinstance(graph, DirectedGraph):
+        kind = "dds"
+    elif isinstance(graph, UndirectedGraph):
+        kind = "uds"
+    else:
+        raise EngineError(
+            f"cannot infer solver kind from graph of type {type(graph).__name__}"
+        )
+    return get_solver(kind, solver)
+
+
+def run(
+    solver: SolverSpec | str,
+    graph: Any,
+    ctx: ExecutionContext | None = None,
+    **options: Any,
+) -> Any:
+    """Execute ``solver`` on ``graph`` under ``ctx``; return its result.
+
+    ``options`` override the spec's ``default_options`` and are forwarded
+    verbatim (e.g. ``epsilon=0.5`` for PBU).  Context fields are mapped to
+    solver kwargs strictly by capability: ``runtime`` only when the spec
+    declares ``supports_runtime`` (built lazily from the context's thread
+    count, budgets and sanitize flag), ``frontier`` only when
+    ``supports_frontier`` and the context sets it, ``seed`` only when
+    ``supports_seed``, and ``config`` only when ``supports_cluster``.
+
+    After the run, a ``supports_runtime`` solver must have charged work to
+    the runtime it received (a parallel loop or a serial section) —
+    anything else means the solver silently ignored its runtime, which
+    would corrupt the simulated-time experiments; :class:`~repro.errors.
+    EngineError` is raised in that case.  The returned result carries a
+    populated :class:`~repro.engine.report.RunReport` in ``.report``.
+    """
+    spec = resolve_solver(solver, graph)
+    ctx = ctx or ExecutionContext()
+    kwargs: dict[str, Any] = dict(spec.default_options)
+    kwargs.update(options)
+    # A caller-supplied runtime kwarg is honoured for runtime-capable
+    # solvers and dropped otherwise (the old api.py contract: serial
+    # solvers accept and ignore one, e.g. under ``repro-dsd --sanitize``).
+    explicit_runtime = kwargs.pop("runtime", None)
+    if explicit_runtime is not None and ctx.runtime is None:
+        ctx.runtime = explicit_runtime
+
+    runtime = None
+    charged_loops = charged_serial = 0.0
+    if spec.supports_runtime:
+        runtime = ctx.ensure_runtime()
+        charged_loops = runtime.metrics.parallel_loops
+        charged_serial = runtime.metrics.breakdown.serial
+        kwargs["runtime"] = runtime
+    if spec.supports_frontier and ctx.frontier is not None:
+        kwargs["frontier"] = ctx.frontier
+    if spec.supports_seed and ctx.seed is not None:
+        kwargs["seed"] = ctx.seed
+    if spec.supports_cluster and ctx.cluster_config is not None:
+        kwargs.setdefault("config", ctx.cluster_config)
+
+    result = spec.func(graph, **kwargs)
+
+    if runtime is not None:
+        charged = (
+            runtime.metrics.parallel_loops > charged_loops
+            or runtime.metrics.breakdown.serial > charged_serial
+        )
+        if not charged:
+            raise EngineError(
+                f"solver {spec.kind}:{spec.name} declares supports_runtime "
+                "but charged nothing to the SimRuntime it was given"
+            )
+    result.report = RunReport.from_run(spec, result, runtime)
+    return result
+
+
+def registry_table(kind: str | None = None) -> str:
+    """Render the solver registry as an aligned text table.
+
+    One row per spec: name, kind, guarantee, cost tag and capability
+    list.  Backs ``repro-dsd --list-methods``.
+    """
+    headers = ("name", "kind", "guarantee", "cost", "capabilities", "summary")
+    rows = [
+        (
+            spec.name,
+            spec.kind,
+            spec.guarantee,
+            spec.cost,
+            ",".join(spec.capabilities) or "-",
+            spec.summary,
+        )
+        for spec in solver_specs(kind)
+    ]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Read-only method tables generated live from the solver registry.
+
+.. deprecated:: these views exist so downstream ``from repro import
+   UDS_METHODS`` keeps working after the registry refactor.  They are
+   *views*, not dicts: the content always mirrors the registered
+   :class:`~repro.engine.spec.SolverSpec` set and cannot be mutated.
+   New code should use :func:`repro.engine.get_solver` /
+   :func:`repro.engine.run` instead.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, Callable, Iterator
+
+from .spec import solver_names, solver_specs
+
+__all__ = ["MethodsView", "methods_view"]
+
+
+class MethodsView(Mapping):
+    """Live ``{name: callable}`` mapping over one kind's registered solvers.
+
+    .. deprecated:: thin compatibility shim over the solver registry —
+       prefer :func:`repro.engine.get_solver` (for the full
+       :class:`~repro.engine.spec.SolverSpec`) or :func:`repro.engine.run`.
+       Mutation is impossible by design; register solvers with
+       ``@register_solver`` (lint rule R006 enforces this).
+    """
+
+    def __init__(self, kind: str):
+        if kind not in ("uds", "dds"):
+            raise ValueError(f"kind must be 'uds' or 'dds', got {kind!r}")
+        self._kind = kind
+
+    @property
+    def kind(self) -> str:
+        """The solver kind ('uds' or 'dds') this view projects."""
+        return self._kind
+
+    def __getitem__(self, name: str) -> Callable[..., Any]:
+        for spec in solver_specs(self._kind):
+            if spec.name == name:
+                return spec.func
+        raise KeyError(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(solver_names(self._kind))
+
+    def __len__(self) -> int:
+        return len(solver_names(self._kind))
+
+    def __repr__(self) -> str:
+        return f"MethodsView({self._kind}: {', '.join(solver_names(self._kind))})"
+
+
+def methods_view(kind: str) -> MethodsView:
+    """Return the live method table for ``kind`` ('uds' or 'dds')."""
+    return MethodsView(kind)

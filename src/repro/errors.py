@@ -33,6 +33,17 @@ class AlgorithmError(ReproError):
     """Raised when an algorithm reaches an internally inconsistent state."""
 
 
+class EngineError(ReproError):
+    """Raised by :mod:`repro.engine` for solver-registry misuse.
+
+    Covers conflicting registrations, malformed :class:`~repro.engine.
+    spec.SolverSpec` declarations, and solvers that violate their declared
+    capabilities at run time (e.g. a ``supports_runtime`` solver that
+    finishes without charging anything to its :class:`~repro.runtime.
+    simruntime.SimRuntime`).
+    """
+
+
 class SimulationError(ReproError):
     """Base class for simulated-runtime failures."""
 

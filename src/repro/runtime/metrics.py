@@ -67,6 +67,7 @@ class RunMetrics:
     breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
     parallel_loops: int = 0
     items_processed: int = 0
+    max_parfor_items: int = 0
     atomic_ops: int = 0
     peak_memory_bytes: int = 0
 
@@ -76,6 +77,7 @@ class RunMetrics:
         flat.update(
             parallel_loops=self.parallel_loops,
             items_processed=self.items_processed,
+            max_parfor_items=self.max_parfor_items,
             atomic_ops=self.atomic_ops,
             peak_memory_bytes=self.peak_memory_bytes,
         )

@@ -164,6 +164,7 @@ class SimRuntime:
         breakdown.atomic += atomic_seconds
         self.metrics.parallel_loops += 1
         self.metrics.items_processed += items
+        self.metrics.max_parfor_items = max(self.metrics.max_parfor_items, items)
         self.metrics.atomic_ops += atomic_ops
         self._advance(elapsed)
         return elapsed

@@ -1,4 +1,4 @@
-"""Fixture with one deliberate violation of every lint rule (R001-R005).
+"""Fixture with one deliberate violation of every lint rule (R001-R006).
 
 This file is never imported; ``tests/analysis/test_rules.py`` lints it and
 asserts every planted violation is detected with the right rule id and
@@ -67,6 +67,13 @@ def mutate_scratch(graph):
     graph.heads()[0] = 7
     graph.degrees().sort()
     graph._scratch["degrees"] = None
+
+
+def mutate_method_registry(solver):
+    """R006: hand-edits the solver method tables."""
+    UDS_METHODS["hacked"] = solver
+    DDS_METHODS.pop("pwc")
+    del SOLVER_REGISTRY[("uds", "pkmc")]
 
 
 def suppressed_wall_clock():

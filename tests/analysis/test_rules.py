@@ -22,7 +22,7 @@ def ids_at(findings, rule_id):
 class TestPlantedViolations:
     def test_every_rule_fires(self, fixture_findings):
         fired = {f.rule_id for f in fixture_findings}
-        assert fired == {"R001", "R002", "R003", "R004", "R005"}
+        assert fired == {"R001", "R002", "R003", "R004", "R005", "R006"}
 
     def test_r001_findings(self, fixture_findings):
         lines = ids_at(fixture_findings, "R001")
@@ -62,6 +62,15 @@ class TestPlantedViolations:
         assert "scratch" in messages
         assert "`.heads()`" in messages
         assert "`_scratch`" in messages
+
+    def test_r006_findings(self, fixture_findings):
+        # entry write, mutating pop(), entry delete
+        findings = [f for f in fixture_findings if f.rule_id == "R006"]
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "`UDS_METHODS`" in messages
+        assert "pop()" in messages
+        assert "delete" in messages
 
     def test_findings_carry_fix_hints_and_severities(self, fixture_findings):
         for finding in fixture_findings:
@@ -203,3 +212,60 @@ class TestRuleEdgeCases:
             f.rule_id
             for f in lint_source(source, path="src/repro/core/pkmc.py")
         ] == ["R005"]
+
+    def test_r006_unregistered_solver_flagged_in_solver_module(self):
+        source = (
+            "def shiny_uds(graph):\n"
+            '    """Doc."""\n'
+            "    return None\n"
+        )
+        findings = lint_source(
+            source, path="src/repro/algorithms/undirected/shiny.py"
+        )
+        assert [f.rule_id for f in findings] == ["R006"]
+        assert "shiny_uds" in findings[0].message
+
+    def test_r006_registered_solver_is_clean(self):
+        source = (
+            "from repro.engine.spec import register_solver\n"
+            "@register_solver('shiny', kind='uds', guarantee='exact', cost='serial')\n"
+            "def shiny_uds(graph):\n"
+            '    """Doc."""\n'
+            "    return None\n"
+        )
+        assert lint_source(
+            source, path="src/repro/algorithms/undirected/shiny.py"
+        ) == []
+
+    def test_r006_solver_name_outside_solver_packages_is_clean(self):
+        source = (
+            "def sweep_uds(abbr):\n"
+            '    """Doc."""\n'
+            "    return abbr\n"
+        )
+        assert lint_source(source, path="examples/scaling_study.py") == []
+
+    def test_r006_helpers_and_methods_in_solver_modules_are_clean(self):
+        source = (
+            "def _private_uds(graph):\n"
+            "    return None\n"
+            "def derive_pair(graph):\n"
+            '    """Doc."""\n'
+            "    return None\n"
+            "class Port:\n"
+            '    """Doc."""\n'
+            "    def run_uds(self, graph):\n"
+            '        """Doc."""\n'
+            "        return None\n"
+        )
+        assert lint_source(
+            source, path="src/repro/algorithms/undirected/helper.py"
+        ) == []
+
+    def test_r006_registry_mutation_exempt_in_spec(self):
+        source = "_REGISTRY[key] = spec\n"
+        assert lint_source(source, path="src/repro/engine/spec.py") == []
+        assert [
+            f.rule_id
+            for f in lint_source(source, path="src/repro/api.py")
+        ] == ["R006"]

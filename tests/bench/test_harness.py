@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.algorithms.directed import pbs_dds, pxy_dds
 from repro.bench import (
     RunRecord,
     format_status,
@@ -10,7 +9,6 @@ from repro.bench import (
     run_cell,
     scaled_memory_limit,
 )
-from repro.core import pkmc
 from repro.datasets import get_spec
 from repro.graph import gnm_random_directed, gnm_random_undirected
 
@@ -18,27 +16,31 @@ from repro.graph import gnm_random_directed, gnm_random_undirected
 class TestRunCell:
     def test_ok_record(self):
         g = gnm_random_undirected(50, 150, seed=0)
-        record = run_cell("toy", "PKMC", pkmc, g, threads=4)
+        record = run_cell("toy", "PKMC", g, threads=4)
         assert record.ok
         assert record.status == "ok"
         assert record.simulated_seconds > 0
         assert record.wall_seconds >= 0
         assert record.density > 0
 
+    def test_report_attached(self):
+        g = gnm_random_undirected(50, 150, seed=0)
+        record = run_cell("toy", "PKMC", g, threads=4)
+        assert record.report is not None
+        assert record.report.solver == "pkmc"
+        assert record.report.simulated_seconds == record.simulated_seconds
+
     def test_dnf_record(self):
         d = gnm_random_directed(2000, 6000, seed=0)
-        record = run_cell(
-            "toy", "PBS", pbs_dds, d, threads=4, time_limit=1e-3
-        )
+        record = run_cell("toy", "PBS", d, threads=4, time_limit=1e-3)
         assert record.status == "DNF"
         assert not record.ok
         assert record.simulated_seconds == 1e-3
+        assert record.report is None
 
     def test_oom_record(self):
         d = gnm_random_directed(200, 600, seed=0)
-        record = run_cell(
-            "toy", "PXY", pxy_dds, d, threads=64, memory_limit=100.0
-        )
+        record = run_cell("toy", "PXY", d, threads=64, memory_limit=100.0)
         assert record.status == "OOM"
 
     def test_format_status(self):

@@ -1,0 +1,1 @@
+"""Tests for the solver registry + execution engine (repro.engine)."""

@@ -1,0 +1,138 @@
+"""engine.run: capability-gated context propagation and contracts.
+
+A throwaway registered solver records exactly which kwargs the engine
+forwarded, so these tests pin the dispatch contract: each context field
+reaches a solver iff the spec claims the capability, and a
+``supports_runtime`` solver that ignores its runtime is an error.
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.engine import ExecutionContext, resolve_solver, run
+from repro.engine.spec import temporary_solver
+from repro.errors import EngineError
+from repro.runtime.simruntime import SimRuntime
+
+
+@dataclass
+class FakeResult:
+    """Minimal result shape the engine needs (density/iterations/report)."""
+
+    density: float = 1.0
+    iterations: int = 1
+    simulated_seconds: float = 0.0
+    report: object = None
+    seen: dict = field(default_factory=dict)
+
+
+def recording_solver(charge=True):
+    """A solver body that records its kwargs and optionally charges work."""
+
+    def solve(graph, runtime=None, **kwargs):
+        if runtime is not None and charge:
+            runtime.parfor(np.ones(4))
+        return FakeResult(seen={"runtime": runtime, **kwargs})
+
+    return solve
+
+
+def temp(name="probe", kind="uds", **caps):
+    return temporary_solver(name=name, kind=kind, guarantee="heuristic",
+                            cost="serial", **caps)
+
+
+class TestContextPropagation:
+    def test_seed_reaches_seed_capable_solver(self, triangle_graph):
+        with temp(supports_seed=True)(recording_solver()) as spec:
+            result = run(spec, triangle_graph, ExecutionContext(seed=7))
+        assert result.seen["seed"] == 7
+
+    def test_seed_withheld_without_capability(self, triangle_graph):
+        with temp()(recording_solver()) as spec:
+            result = run(spec, triangle_graph, ExecutionContext(seed=7))
+        assert "seed" not in result.seen
+
+    def test_runtime_built_from_context_threads(self, triangle_graph):
+        ctx = ExecutionContext(num_threads=16)
+        with temp(supports_runtime=True)(recording_solver()) as spec:
+            result = run(spec, triangle_graph, ctx)
+        assert result.seen["runtime"] is ctx.runtime
+        assert ctx.runtime.num_threads == 16
+        assert ctx.simulated_seconds > 0.0
+
+    def test_runtime_withheld_without_capability(self, triangle_graph):
+        ctx = ExecutionContext(num_threads=16)
+        with temp()(recording_solver()) as spec:
+            result = run(spec, triangle_graph, ctx)
+        assert result.seen["runtime"] is None
+        assert ctx.runtime is None  # serial solvers never pay for one
+
+    def test_frontier_forwarded_only_when_set_and_supported(self, triangle_graph):
+        with temp(supports_runtime=True,
+                  supports_frontier=True)(recording_solver()) as spec:
+            default = run(spec, triangle_graph, ExecutionContext())
+            toggled = run(spec, triangle_graph, ExecutionContext(frontier=False))
+        assert "frontier" not in default.seen  # None means solver default
+        assert toggled.seen["frontier"] is False
+
+    def test_explicit_runtime_option_adopted(self, triangle_graph):
+        rt = SimRuntime(num_threads=4)
+        ctx = ExecutionContext(num_threads=1)
+        with temp(supports_runtime=True)(recording_solver()) as spec:
+            result = run(spec, triangle_graph, ctx, runtime=rt)
+        assert result.seen["runtime"] is rt
+        assert ctx.runtime is rt
+
+    def test_explicit_runtime_dropped_for_serial_solver(self, triangle_graph):
+        # Old api.py contract: serial solvers accept-and-ignore a runtime.
+        with temp()(recording_solver()) as spec:
+            result = run(spec, triangle_graph, runtime=SimRuntime())
+        assert result.seen["runtime"] is None
+
+    def test_default_options_overridden_by_call_options(self, triangle_graph):
+        with temporary_solver(
+            name="probe", kind="uds", guarantee="heuristic", cost="serial",
+            default_options={"epsilon": 0.5, "passes": 2},
+        )(recording_solver()) as spec:
+            result = run(spec, triangle_graph, epsilon=0.25)
+        assert result.seen["epsilon"] == 0.25
+        assert result.seen["passes"] == 2
+
+    def test_sanitize_flag_reaches_built_runtime(self, triangle_graph):
+        ctx = ExecutionContext(sanitize=True)
+        with temp(supports_runtime=True)(recording_solver()) as spec:
+            run(spec, triangle_graph, ctx)
+        assert ctx.runtime.sanitize
+
+
+class TestRuntimeContract:
+    def test_uncharged_runtime_is_an_engine_error(self, triangle_graph):
+        with temp(supports_runtime=True)(recording_solver(charge=False)) as spec:
+            with pytest.raises(EngineError, match="charged nothing"):
+                run(spec, triangle_graph)
+
+    def test_serial_charge_satisfies_contract(self, triangle_graph):
+        def solve(graph, runtime=None):
+            runtime.charge_serial(10.0)
+            return FakeResult()
+
+        with temp(supports_runtime=True)(solve) as spec:
+            result = run(spec, triangle_graph)
+        assert result.report.simulated_seconds > 0.0
+
+
+class TestResolveSolver:
+    def test_kind_inferred_from_graph_type(self, triangle_graph, fig3_graph):
+        assert resolve_solver("pfw", triangle_graph).kind == "uds"
+        assert resolve_solver("pfw", fig3_graph).kind == "dds"
+
+    def test_spec_passes_through(self, triangle_graph):
+        spec = resolve_solver("pkmc", triangle_graph)
+        assert resolve_solver(spec, None) is spec  # graph type irrelevant
+
+    def test_non_graph_rejected(self):
+        with pytest.raises(EngineError, match="cannot infer solver kind"):
+            resolve_solver("pkmc", [1, 2, 3])

@@ -1,0 +1,70 @@
+"""UDS_METHODS / DDS_METHODS are live, read-only registry views.
+
+Satellite regression for the refactor: the public method tables must
+never drift from the registry (they used to be hand-maintained dicts),
+and they must be impossible to mutate.
+"""
+
+import pytest
+
+from repro.api import DDS_METHODS, UDS_METHODS
+from repro.engine.spec import solver_names, solver_specs, temporary_solver
+from repro.engine.views import MethodsView, methods_view
+
+
+class TestInSync:
+    @pytest.mark.parametrize("view,kind", [(UDS_METHODS, "uds"),
+                                           (DDS_METHODS, "dds")])
+    def test_keys_mirror_registry(self, view, kind):
+        assert sorted(view) == solver_names(kind)
+        assert len(view) == len(solver_names(kind))
+
+    @pytest.mark.parametrize("view,kind", [(UDS_METHODS, "uds"),
+                                           (DDS_METHODS, "dds")])
+    def test_values_are_registered_callables(self, view, kind):
+        for spec in solver_specs(kind):
+            assert view[spec.name] is spec.func
+
+    def test_views_are_live_not_snapshots(self):
+        def novel(graph):
+            """Novel solver."""
+
+        assert "novel" not in UDS_METHODS
+        with temporary_solver(name="novel", kind="uds", guarantee="heuristic",
+                              cost="serial")(novel):
+            assert UDS_METHODS["novel"] is novel
+            assert "novel" in set(UDS_METHODS)
+        assert "novel" not in UDS_METHODS
+
+
+class TestReadOnly:
+    def test_setitem_impossible(self):
+        with pytest.raises(TypeError):
+            UDS_METHODS["hack"] = lambda graph: None  # type: ignore[index]
+
+    def test_delitem_impossible(self):
+        with pytest.raises(TypeError):
+            del DDS_METHODS["pwc"]  # type: ignore[attr-defined]
+
+    def test_missing_name_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            UDS_METHODS["nope"]
+
+    def test_mapping_helpers_work(self):
+        assert UDS_METHODS.get("nope") is None
+        assert "pkmc" in UDS_METHODS
+        assert "pwc" in DDS_METHODS
+
+
+class TestConstruction:
+    def test_factory_matches_api_tables(self):
+        assert isinstance(UDS_METHODS, MethodsView)
+        assert methods_view("uds").kind == "uds"
+        assert UDS_METHODS.kind == "uds" and DDS_METHODS.kind == "dds"
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            methods_view("tds")
+
+    def test_repr_lists_methods(self):
+        assert "pkmc" in repr(UDS_METHODS)

@@ -68,6 +68,27 @@ class TestDsdCli:
         assert dsd_main([undirected_file, "--max-vertices", "1"]) == 0
         assert "..." in capsys.readouterr().out
 
+    def test_list_methods_prints_registry_table(self, capsys):
+        assert dsd_main(["--list-methods"]) == 0
+        out = capsys.readouterr().out
+        assert "guarantee" in out and "capabilities" in out
+        for name in ("pkmc", "pwc", "charikar", "pkmc-bsp", "pwc-bsp"):
+            assert name in out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            dsd_main([])
+        assert "path" in capsys.readouterr().err
+
+    def test_no_frontier_runs_frontier_capable_method(self, undirected_file):
+        assert dsd_main([undirected_file, "--no-frontier"]) == 0
+
+    def test_no_frontier_rejected_for_serial_method(self, undirected_file, capsys):
+        assert dsd_main(
+            [undirected_file, "--method", "exact", "--no-frontier"]
+        ) == 1
+        assert "no frontier kernels" in capsys.readouterr().err
+
 
 class TestBenchCli:
     def test_list(self, capsys):
