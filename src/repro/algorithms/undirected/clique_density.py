@@ -42,7 +42,10 @@ def triangle_counts(graph: UndirectedGraph) -> np.ndarray:
     """Count, for every vertex, the triangles it participates in."""
     counts = np.zeros(graph.num_vertices, dtype=np.int64)
     sets = _neighbor_sets(graph)
-    for u, v in graph.iter_edges():
+    # edges().tolist() iterates plain Python ints — the set-intersection
+    # body is inherently per-edge, but the per-row array unboxing of
+    # iter_edges() is not.
+    for u, v in graph.edges().tolist():
         small, large = (u, v) if len(sets[u]) <= len(sets[v]) else (v, u)
         for w in sets[small]:
             if w > v and w in sets[large]:

@@ -48,9 +48,9 @@ def _conditioned_cut(
             net.add_edge(v, sink, m * scale)
         else:
             net.add_edge(v, sink, m * scale + 2 * g_scaled - int(degrees[v]) * scale)
-    for u, v in graph.iter_edges():
-        net.add_edge(u, v, scale)
-        net.add_edge(v, u, scale)
+    edges = graph.edges()
+    net.add_edges(edges[:, 0], edges[:, 1], scale)
+    net.add_edges(edges[:, 1], edges[:, 0], scale)
     net.max_flow(source, sink)
     side = net.min_cut_source_side(source)
     members = side[side < n]

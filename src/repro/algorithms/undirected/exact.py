@@ -43,9 +43,9 @@ def _goldberg_cut(
     for v in range(n):
         net.add_edge(source, v, m * scale)
         net.add_edge(v, sink, m * scale + 2 * g_scaled - int(degrees[v]) * scale)
-    for u, v in graph.iter_edges():
-        net.add_edge(u, v, scale)
-        net.add_edge(v, u, scale)
+    edges = graph.edges()
+    net.add_edges(edges[:, 0], edges[:, 1], scale)
+    net.add_edges(edges[:, 1], edges[:, 0], scale)
     cut_value = net.max_flow(source, sink)
     if cut_value >= n * m * scale - 0.5:
         return None

@@ -33,7 +33,8 @@ def _build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help=(
             "experiment ids (exp1..exp8), 'kernels' (the kernel-layer "
-            "bench-regression harness) or 'all'; default: all"
+            "bench-regression harness), 'store' (the storage-layer "
+            "harness) or 'all'; default: all"
         ),
     )
     parser.add_argument(
@@ -66,36 +67,54 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="BASELINE_JSON",
         help=(
-            "with 'kernels': compare the fresh run against a committed "
-            "BENCH_kernels.json baseline and exit non-zero on regression"
+            "with 'kernels' or 'store': compare the fresh run against the "
+            "committed BENCH_*.json baseline and exit non-zero on regression"
         ),
     )
     return parser
 
 
-def _run_kernels(args) -> int:
-    """Run the kernel bench; write or check ``BENCH_kernels.json``."""
+def _run_harness(args, label: str, run, check, render, baseline_name: str) -> int:
+    """Run one bench harness; write or check its ``BENCH_*.json``."""
     import json
 
-    from .kernels import check_regression, render_kernel_report, run_kernel_bench
-
-    payload = run_kernel_bench()
-    print(render_kernel_report(payload))
+    payload = run()
+    print(render(payload))
     if args.check is not None:
         baseline = json.loads(args.check.read_text(encoding="utf-8"))
-        failures = check_regression(payload, baseline)
+        failures = check(payload, baseline)
         for failure in failures:
             print(f"  [FAIL] {failure}")
         if failures:
             return 1
-        print(f"  [PASS] no kernel regression vs {args.check}")
+        print(f"  [PASS] no {label} regression vs {args.check}")
         return 0
     output_dir = args.output if args.output is not None else Path(".")
     output_dir.mkdir(parents=True, exist_ok=True)
-    target = output_dir / "BENCH_kernels.json"
+    target = output_dir / baseline_name
     target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"[kernel bench written to {target}]")
+    print(f"[{label} bench written to {target}]")
     return 0
+
+
+def _run_kernels(args) -> int:
+    """Run the kernel bench; write or check ``BENCH_kernels.json``."""
+    from .kernels import check_regression, render_kernel_report, run_kernel_bench
+
+    return _run_harness(
+        args, "kernel", run_kernel_bench, check_regression,
+        render_kernel_report, "BENCH_kernels.json",
+    )
+
+
+def _run_store(args) -> int:
+    """Run the storage bench; write or check ``BENCH_store.json``."""
+    from .store import check_regression, render_store_report, run_store_bench
+
+    return _run_harness(
+        args, "store", run_store_bench, check_regression,
+        render_store_report, "BENCH_store.json",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -108,11 +127,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     requested = args.experiments or ["all"]
-    if "kernels" in requested:
-        status = _run_kernels(args)
-        requested = [name for name in requested if name != "kernels"]
-        if status or not requested:
-            return status
+    for name, runner in (("kernels", _run_kernels), ("store", _run_store)):
+        if name in requested:
+            status = runner(args)
+            requested = [item for item in requested if item != name]
+            if status or not requested:
+                return status
     if "all" in requested:
         requested = list(ALL_EXPERIMENTS)
     unknown = [name for name in requested if name not in ALL_EXPERIMENTS]

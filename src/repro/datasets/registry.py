@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Literal
+from pathlib import Path
+from typing import Literal, Union
 
-from ..errors import DatasetError
+from ..errors import DatasetError, GraphFormatError
 from ..graph.directed import DirectedGraph
 from ..graph.generators import chung_lu_directed, planted_st_subgraph
 from ..graph.undirected import UndirectedGraph
@@ -37,6 +38,7 @@ __all__ = [
     "get_spec",
     "load_undirected",
     "load_directed",
+    "load_cached",
 ]
 
 
@@ -183,3 +185,34 @@ def load_directed(abbr: str) -> DirectedGraph:
         max_weight=spec.max_weight,
         seed=spec.seed,
     )
+
+
+def load_cached(
+    abbr: str, cache_dir: Union[str, Path]
+) -> UndirectedGraph | DirectedGraph:
+    """Disk-cached replica load backed by binary snapshots.
+
+    The first call generates the replica and writes a snapshot
+    (``<abbr>.npz``) into ``cache_dir``; later calls — including in
+    fresh processes — mmap-load the snapshot instead of regenerating,
+    which is the fast path for repeated experiment runs. A corrupt or
+    stale snapshot is deleted and rebuilt.
+    """
+    from ..store.snapshot import load_snapshot, save_snapshot
+
+    spec = get_spec(abbr)
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"{abbr}.npz"
+    if path.exists():
+        try:
+            return load_snapshot(path)
+        except GraphFormatError:
+            path.unlink()  # corrupt/truncated cache entry: rebuild below
+    graph = (
+        load_undirected(abbr)
+        if spec.kind == "undirected"
+        else load_directed(abbr)
+    )
+    save_snapshot(graph, path)
+    return graph

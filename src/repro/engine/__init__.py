@@ -25,6 +25,11 @@ See ``docs/architecture.md`` for the full design.
 
 from __future__ import annotations
 
+from ..store.memo import (
+    ResultCache,
+    disable_default_cache,
+    enable_default_cache,
+)
 from .context import ExecutionContext
 from .report import RunReport
 from .runner import registry_table, resolve_solver, run
@@ -41,6 +46,9 @@ from .views import MethodsView, methods_view
 
 __all__ = [
     "ExecutionContext",
+    "ResultCache",
+    "enable_default_cache",
+    "disable_default_cache",
     "RunReport",
     "SolverSpec",
     "MethodsView",

@@ -18,6 +18,7 @@ from ..runtime.simruntime import SimRuntime
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..distributed.cluster import ClusterConfig
+    from ..store.memo import ResultCache
 
 __all__ = ["ExecutionContext"]
 
@@ -34,6 +35,11 @@ class ExecutionContext:
     ``seed`` reaches only solvers declaring ``supports_seed``;
     ``cluster_config`` reaches only the BSP ports.  ``extras`` is a
     free-form metrics sink call sites may use to stash run annotations.
+    ``cache`` opts the run into result memoization
+    (:mod:`repro.store.memo`): hits are served without re-executing the
+    solver, keyed on the graph fingerprint plus every behavior-relevant
+    context field; when unset, the process-wide default cache (if any)
+    applies.
     """
 
     num_threads: int = 1
@@ -44,6 +50,7 @@ class ExecutionContext:
     time_limit: float | None = None
     memory_limit_bytes: float | None = None
     cluster_config: "ClusterConfig | None" = None
+    cache: "ResultCache | None" = None
     extras: dict[str, Any] = field(default_factory=dict)
 
     def ensure_runtime(self) -> SimRuntime:

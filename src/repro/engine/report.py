@@ -33,6 +33,11 @@ class RunReport:
     mark); ``parallel_loops``, ``peak_memory_bytes`` and ``breakdown``
     come from the run's :class:`~repro.runtime.metrics.RunMetrics` and
     are zero/empty for solvers that run without a simulated runtime.
+    ``graph_memory_bytes`` is the *actual* resident size of the input
+    graph's CSR + cached scratch buffers (``graph.memory_bytes()``) —
+    distinct from the simulated ``peak_memory_bytes``.  ``cache_hit``
+    marks results served from the engine's memoization cache without
+    re-running the solver.
     """
 
     solver: str
@@ -46,6 +51,8 @@ class RunReport:
     peak_frontier: int = 0
     parallel_loops: int = 0
     peak_memory_bytes: int = 0
+    graph_memory_bytes: int = 0
+    cache_hit: bool = False
     breakdown: dict[str, float] = field(default_factory=dict)
 
     @classmethod
@@ -54,12 +61,18 @@ class RunReport:
         spec: "SolverSpec",
         result: Any,
         runtime: "SimRuntime | None" = None,
+        graph: Any = None,
     ) -> "RunReport":
         """Build the report for ``result`` produced by ``spec``'s solver.
 
         Deterministic in its inputs: the engine and a direct solver call
-        that used the same runtime produce equal reports.
+        that used the same runtime (and graph) produce equal reports.
         """
+        graph_memory = (
+            int(graph.memory_bytes())
+            if graph is not None and hasattr(graph, "memory_bytes")
+            else 0
+        )
         if runtime is not None:
             metrics = runtime.metrics
             return cls(
@@ -74,6 +87,7 @@ class RunReport:
                 peak_frontier=metrics.max_parfor_items,
                 parallel_loops=metrics.parallel_loops,
                 peak_memory_bytes=metrics.peak_memory_bytes,
+                graph_memory_bytes=graph_memory,
                 breakdown=metrics.breakdown.as_dict(),
             )
         return cls(
@@ -84,6 +98,7 @@ class RunReport:
             density=result.density,
             iterations=result.iterations,
             simulated_seconds=result.simulated_seconds,
+            graph_memory_bytes=graph_memory,
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -100,5 +115,7 @@ class RunReport:
             "peak_frontier": self.peak_frontier,
             "parallel_loops": self.parallel_loops,
             "peak_memory_bytes": self.peak_memory_bytes,
+            "graph_memory_bytes": self.graph_memory_bytes,
+            "cache_hit": self.cache_hit,
             "breakdown": dict(self.breakdown),
         }

@@ -12,11 +12,13 @@ toggles are configured in one place.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any
 
 from ..errors import EngineError
 from ..graph.directed import DirectedGraph
 from ..graph.undirected import UndirectedGraph
+from ..store.memo import get_default_cache, make_cache_key
 from .context import ExecutionContext
 from .report import RunReport
 from .spec import SolverSpec, get_solver, solver_specs
@@ -78,6 +80,22 @@ def run(
     if explicit_runtime is not None and ctx.runtime is None:
         ctx.runtime = explicit_runtime
 
+    # Result memoization (repro.store.memo): opt-in via ctx.cache or the
+    # process-wide default.  The key covers the graph's content
+    # fingerprint, the solver identity, every behaviour-relevant context
+    # field and the merged options; a pre-supplied runtime or unhashable
+    # option makes the run uncacheable (key is None).
+    cache = ctx.cache if ctx.cache is not None else get_default_cache()
+    cache_key = None
+    if cache is not None and hasattr(graph, "fingerprint"):
+        cache_key = make_cache_key(
+            graph.fingerprint(), spec.kind, spec.name, ctx, kwargs
+        )
+        cached = cache.get(cache_key)
+        if cached is not None:
+            cached.report = replace(cached.report, cache_hit=True)
+            return cached
+
     runtime = None
     charged_loops = charged_serial = 0.0
     if spec.supports_runtime:
@@ -104,7 +122,9 @@ def run(
                 f"solver {spec.kind}:{spec.name} declares supports_runtime "
                 "but charged nothing to the SimRuntime it was given"
             )
-    result.report = RunReport.from_run(spec, result, runtime)
+    result.report = RunReport.from_run(spec, result, runtime, graph=graph)
+    if cache is not None:
+        cache.put(cache_key, result)
     return result
 
 

@@ -59,6 +59,50 @@ class FlowNetwork:
         self._flow_value = None
         return arc_id
 
+    def add_edges(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        capacity: float | np.ndarray,
+    ) -> np.ndarray:
+        """Bulk-add arcs ``src[i] -> dst[i]``; return the forward arc ids.
+
+        Validation and the paired-residual arc layout are computed
+        array-at-a-time; equivalent to calling :meth:`add_edge` per arc
+        (a scalar ``capacity`` broadcasts over all arcs).
+        """
+        src = np.asarray(src, dtype=np.int64).ravel()
+        dst = np.asarray(dst, dtype=np.int64).ravel()
+        if src.size != dst.size:
+            raise AlgorithmError("src and dst must have equal length")
+        if src.size == 0:
+            return np.empty(0, dtype=np.int64)
+        caps = np.broadcast_to(
+            np.asarray(capacity, dtype=np.float64), src.shape
+        )
+        if (
+            int(min(src.min(), dst.min())) < 0
+            or int(max(src.max(), dst.max())) >= self.num_nodes
+        ):
+            raise AlgorithmError("arc endpoint out of range")
+        if float(caps.min()) < 0:
+            raise AlgorithmError("capacity must be non-negative")
+        base = len(self._to)
+        to_pairs = np.empty(2 * src.size, dtype=np.int64)
+        to_pairs[0::2] = dst
+        to_pairs[1::2] = src
+        cap_pairs = np.zeros(2 * src.size, dtype=np.float64)
+        cap_pairs[0::2] = caps
+        self._to.extend(to_pairs.tolist())
+        self._cap.extend(cap_pairs.tolist())
+        arc_ids = base + 2 * np.arange(src.size, dtype=np.int64)
+        for u, arc in zip(src.tolist(), arc_ids.tolist()):
+            self._head[u].append(arc)
+        for v, arc in zip(dst.tolist(), (arc_ids + 1).tolist()):
+            self._head[v].append(arc)
+        self._flow_value = None
+        return arc_ids
+
     # ------------------------------------------------------------------
     # Dinic
     # ------------------------------------------------------------------

@@ -57,7 +57,15 @@ class _EdgeBuffer:
 
 
 class _LabelInterner:
-    """Maps arbitrary hashable labels to dense ids 0..n-1."""
+    """Maps arbitrary hashable labels to dense ids 0..n-1.
+
+    Labels are compared by dict semantics (``hash`` + ``==``), never by
+    textual rendering: the int ``1`` and the string ``"1"`` are distinct
+    vertices, while ``True`` and ``1`` (equal and hash-equal in Python)
+    intern to one vertex whose label is whichever token appeared first.
+    The text readers never mix types — every parsed token is interned as
+    ``str`` — so this only matters for programmatic ``add_edge`` calls.
+    """
 
     def __init__(self) -> None:
         self._ids: dict[Hashable, int] = {}

@@ -12,11 +12,14 @@ Edge ids enumerate the rows of :meth:`DirectedGraph.edges`.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
 from ..errors import GraphError
+from ..store.compact import index_dtype
+from ..store.csr import counting_sort_csr
+from ..store.fingerprint import fingerprint_arrays
 
 __all__ = ["DirectedGraph"]
 
@@ -34,6 +37,7 @@ class DirectedGraph:
         "_edge_src",
         "_edge_dst",
         "_scratch",
+        "_fingerprint",
     )
 
     def __init__(self, num_vertices: int, edge_src: np.ndarray, edge_dst: np.ndarray):
@@ -50,27 +54,27 @@ class DirectedGraph:
             raise GraphError(
                 f"edge endpoint out of range for a graph with {num_vertices} vertices"
             )
-        self._edge_src = edge_src
-        self._edge_dst = edge_dst
         n, m = num_vertices, edge_src.size
+        # Auto-narrow every index-typed array (vertex ids, CSR offsets,
+        # edge ids are all bounded by max(n, m); see repro.store.compact).
+        dtype = index_dtype(n, max(n, m))
+        self._edge_src = np.ascontiguousarray(edge_src, dtype=dtype)
+        self._edge_dst = np.ascontiguousarray(edge_dst, dtype=dtype)
 
-        out_order = np.lexsort((edge_dst, edge_src))
-        self.out_edge_ids = out_order.astype(np.int64)
-        self.out_indices = edge_dst[out_order]
-        out_deg = np.bincount(edge_src, minlength=n)
-        self.out_indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(out_deg, out=self.out_indptr[1:])
-
-        in_order = np.lexsort((edge_src, edge_dst))
-        self.in_edge_ids = in_order.astype(np.int64)
-        self.in_indices = edge_src[in_order]
-        in_deg = np.bincount(edge_dst, minlength=n)
-        self.in_indptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(in_deg, out=self.in_indptr[1:])
-        del m  # edge count recoverable from edge_src
+        # One stable radix pass per direction (repro.store.csr) instead
+        # of the old two-key lexsorts; orderings are identical.
+        self.out_indptr, self.out_indices, out_order = counting_sort_csr(
+            n, edge_src, edge_dst, dtype=dtype
+        )
+        self.out_edge_ids = out_order.astype(dtype, copy=False)
+        self.in_indptr, self.in_indices, in_order = counting_sort_csr(
+            n, edge_dst, edge_src, dtype=dtype
+        )
+        self.in_edge_ids = in_order.astype(dtype, copy=False)
         # Lazily-built, read-only scratch buffers (degree views); owned
         # per instance so derived graphs always start with a fresh cache.
         self._scratch: dict[str, np.ndarray] = {}
+        self._fingerprint: Optional[str] = None
 
     def _cached(self, key: str, build) -> np.ndarray:
         """Memoize a derived buffer; returned arrays are frozen read-only."""
@@ -116,6 +120,51 @@ class DirectedGraph:
         zero = np.empty(0, dtype=np.int64)
         return cls(num_vertices, zero, zero)
 
+    @classmethod
+    def _from_csr_arrays(
+        cls,
+        num_vertices: int,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        out_indptr: np.ndarray,
+        out_indices: np.ndarray,
+        out_edge_ids: np.ndarray,
+        in_indptr: np.ndarray,
+        in_indices: np.ndarray,
+        in_edge_ids: np.ndarray,
+    ) -> "DirectedGraph":
+        """Adopt pre-built dual-CSR arrays (snapshot loads).
+
+        Skips the per-direction sorts — the snapshot stores the exact
+        arrays a fresh build would produce — but still checks the cheap
+        structural invariants so a corrupted file cannot produce a graph
+        with inconsistent views.
+        """
+        m = edge_src.size
+        if (
+            out_indptr.size != num_vertices + 1
+            or in_indptr.size != num_vertices + 1
+            or edge_dst.size != m
+            or out_indices.size != m
+            or in_indices.size != m
+            or out_edge_ids.size != m
+            or in_edge_ids.size != m
+            or (m > 0 and (out_indptr[-1] != m or in_indptr[-1] != m))
+        ):
+            raise GraphError("inconsistent dual-CSR arrays")
+        graph = cls.__new__(cls)
+        graph._edge_src = np.ascontiguousarray(edge_src)
+        graph._edge_dst = np.ascontiguousarray(edge_dst)
+        graph.out_indptr = np.ascontiguousarray(out_indptr)
+        graph.out_indices = np.ascontiguousarray(out_indices)
+        graph.out_edge_ids = np.ascontiguousarray(out_edge_ids)
+        graph.in_indptr = np.ascontiguousarray(in_indptr)
+        graph.in_indices = np.ascontiguousarray(in_indices)
+        graph.in_edge_ids = np.ascontiguousarray(in_edge_ids)
+        graph._scratch = {}
+        graph._fingerprint = None
+        return graph
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
@@ -134,7 +183,11 @@ class DirectedGraph:
         return np.stack([self._edge_src, self._edge_dst], axis=1)
 
     def iter_edges(self) -> Iterator[tuple[int, int]]:
-        """Yield (u, v) tuples in edge-id order."""
+        """Yield (u, v) tuples in edge-id order.
+
+        Debugging convenience only: one Python tuple per edge. Hot paths
+        should use the vectorised :meth:`edges` array instead.
+        """
         for u, v in zip(self._edge_src, self._edge_dst):
             yield int(u), int(v)
 
@@ -284,8 +337,26 @@ class DirectedGraph:
     def __repr__(self) -> str:
         return f"DirectedGraph(n={self.num_vertices}, m={self.num_edges})"
 
-    def memory_bytes(self) -> int:
-        """Approximate resident size of the CSR arrays in bytes."""
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph structure (cached).
+
+        Hashes the edge-id-ordered arc arrays, from which both CSR
+        views are a deterministic function; the engine's result cache
+        keys on this.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_arrays(
+                "directed", self.num_vertices, self._edge_src, self._edge_dst
+            )
+        return self._fingerprint
+
+    def memory_bytes(self, include_scratch: bool = True) -> int:
+        """Resident size in bytes of the dual-CSR arrays.
+
+        By default this includes the lazily-built scratch buffers
+        (``out_degrees``/``in_degrees``) currently cached on the
+        instance. Pass ``include_scratch=False`` for the bare size.
+        """
         arrays = (
             self.out_indptr,
             self.out_indices,
@@ -296,4 +367,7 @@ class DirectedGraph:
             self._edge_src,
             self._edge_dst,
         )
-        return int(sum(a.nbytes for a in arrays))
+        total = int(sum(a.nbytes for a in arrays))
+        if include_scratch:
+            total += sum(a.nbytes for a in self._scratch.values())
+        return total

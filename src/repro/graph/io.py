@@ -5,8 +5,14 @@ Supported text format: one edge per line, whitespace-separated endpoints,
 timestamps) ignored.  Vertex labels may be arbitrary tokens; they are
 interned to dense integer ids in first-seen order.
 
-A compact binary ``.npz`` round-trip is also provided for cached synthetic
-datasets.
+Parsing is vectorized by default (:mod:`repro.store.reader`: chunked
+reads, ``np.fromstring`` numeric fast path, ``np.unique`` label
+interning); pass ``vectorized=False`` for the strict line-by-line
+reference path.  Both produce identical graphs, labels and errors.
+
+Binary ``.npz`` snapshots (:mod:`repro.store.snapshot`) store the built
+CSR arrays and load mmap-backed — the fast path for repeated runs over
+the same dataset.
 """
 
 from __future__ import annotations
@@ -18,6 +24,8 @@ from typing import TextIO, Union
 import numpy as np
 
 from ..errors import GraphFormatError
+from ..store import reader as store_reader
+from ..store import snapshot as store_snapshot
 from .builder import DirectedGraphBuilder, GraphBuilder
 from .directed import DirectedGraph
 from .undirected import UndirectedGraph
@@ -35,6 +43,7 @@ _COMMENT_PREFIXES = ("#", "%")
 
 
 def _parse_lines(stream: TextIO, builder, path_hint: str) -> None:
+    """Strict line-by-line reference parser (one add_edge per line)."""
     for line_number, raw in enumerate(stream, start=1):
         line = raw.strip()
         if not line or line.startswith(_COMMENT_PREFIXES):
@@ -48,33 +57,44 @@ def _parse_lines(stream: TextIO, builder, path_hint: str) -> None:
         builder.add_edge(parts[0], parts[1])
 
 
+def _read_edgelist(source, builder, graph_cls, vectorized: bool):
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as stream:
+            return _read_edgelist_stream(
+                stream, builder, graph_cls, str(source), vectorized
+            )
+    return _read_edgelist_stream(
+        source, builder, graph_cls, "<stream>", vectorized
+    )
+
+
+def _read_edgelist_stream(stream, builder, graph_cls, hint, vectorized):
+    if vectorized:
+        edge_ids, labels = store_reader.read_edges_vectorized(stream, hint)
+        return graph_cls.from_edges(len(labels), edge_ids), labels
+    _parse_lines(stream, builder, hint)
+    return builder.build_with_labels()
+
+
 def read_undirected_edgelist(
-    source: PathLike | TextIO,
+    source: PathLike | TextIO, vectorized: bool = True
 ) -> tuple[UndirectedGraph, list]:
     """Parse an undirected edge list; return ``(graph, labels)``.
 
     ``labels[i]`` is the original token for vertex id ``i``.
+    ``vectorized=False`` selects the strict line-by-line reference
+    parser (identical output, one Python call per edge).
     """
-    builder = GraphBuilder()
-    if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as stream:
-            _parse_lines(stream, builder, str(source))
-    else:
-        _parse_lines(source, builder, "<stream>")
-    return builder.build_with_labels()
+    return _read_edgelist(source, GraphBuilder(), UndirectedGraph, vectorized)
 
 
 def read_directed_edgelist(
-    source: PathLike | TextIO,
+    source: PathLike | TextIO, vectorized: bool = True
 ) -> tuple[DirectedGraph, list]:
     """Parse a directed edge list (u -> v per line); return ``(graph, labels)``."""
-    builder = DirectedGraphBuilder()
-    if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="utf-8") as stream:
-            _parse_lines(stream, builder, str(source))
-    else:
-        _parse_lines(source, builder, "<stream>")
-    return builder.build_with_labels()
+    return _read_edgelist(
+        source, DirectedGraphBuilder(), DirectedGraph, vectorized
+    )
 
 
 def write_edgelist(
@@ -89,8 +109,14 @@ def write_edgelist(
             for header_line in header.splitlines():
                 stream.write(f"# {header_line}\n")
         stream.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
-        for u, v in graph.iter_edges():
-            stream.write(f"{u} {v}\n")
+        edges = graph.edges()
+        if edges.shape[0]:
+            # Vectorized rendering: two U-string columns joined per row,
+            # one C-level join for the body — no per-edge Python loop.
+            left = np.char.add(edges[:, 0].astype(np.str_), " ")
+            lines = np.char.add(left, edges[:, 1].astype(np.str_))
+            stream.write("\n".join(lines.tolist()))
+            stream.write("\n")
 
     if isinstance(target, (str, Path)):
         with open(target, "w", encoding="utf-8") as stream:
@@ -100,31 +126,24 @@ def write_edgelist(
 
 
 def save_npz(graph: UndirectedGraph | DirectedGraph, path: PathLike) -> None:
-    """Save a graph to a compressed ``.npz`` file."""
-    edges = graph.edges()
-    kind = "directed" if isinstance(graph, DirectedGraph) else "undirected"
-    np.savez_compressed(
-        path,
-        kind=np.array(kind),
-        num_vertices=np.array(graph.num_vertices, dtype=np.int64),
-        edges=edges.astype(np.int64),
-    )
+    """Save a graph as a binary snapshot (uncompressed ``.npz``).
+
+    Stores the built CSR arrays plus the content fingerprint, so
+    :func:`load_npz` skips parsing and CSR construction entirely; see
+    :mod:`repro.store.snapshot`.
+    """
+    store_snapshot.save_snapshot(graph, path)
 
 
-def load_npz(path: PathLike) -> UndirectedGraph | DirectedGraph:
-    """Load a graph saved by :func:`save_npz`."""
-    with np.load(path, allow_pickle=False) as data:
-        try:
-            kind = str(data["kind"])
-            num_vertices = int(data["num_vertices"])
-            edges = data["edges"]
-        except KeyError as exc:
-            raise GraphFormatError(f"{path}: missing field {exc}") from exc
-    if kind == "directed":
-        return DirectedGraph.from_edges(num_vertices, edges)
-    if kind == "undirected":
-        return UndirectedGraph.from_edges(num_vertices, edges)
-    raise GraphFormatError(f"{path}: unknown graph kind {kind!r}")
+def load_npz(
+    path: PathLike, mmap: bool = True
+) -> UndirectedGraph | DirectedGraph:
+    """Load a graph saved by :func:`save_npz` (mmap-backed by default).
+
+    Also accepts the legacy edge-list ``.npz`` layout.  Malformed or
+    truncated files raise :class:`GraphFormatError`.
+    """
+    return store_snapshot.load_snapshot(path, mmap=mmap)
 
 
 def edgelist_from_string(text: str, directed: bool = False):

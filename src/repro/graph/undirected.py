@@ -12,11 +12,14 @@ are collapsed, matching the simple graphs used throughout the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
 from ..errors import GraphError
+from ..store.compact import index_dtype
+from ..store.csr import _COMBINED_KEY_MAX_VERTICES, csr_from_sorted_canonical
+from ..store.fingerprint import fingerprint_arrays
 
 __all__ = ["UndirectedGraph"]
 
@@ -29,13 +32,22 @@ def _normalize_edges(n: int, edges: np.ndarray) -> np.ndarray:
         raise GraphError(
             f"edge endpoint out of range for a graph with {n} vertices"
         )
-    u = np.minimum(edges[:, 0], edges[:, 1])
-    v = np.maximum(edges[:, 0], edges[:, 1])
+    u = np.minimum(edges[:, 0], edges[:, 1]).astype(np.int64, copy=False)
+    v = np.maximum(edges[:, 0], edges[:, 1]).astype(np.int64, copy=False)
     keep = u != v
-    canon = np.stack([u[keep], v[keep]], axis=1)
-    if canon.size == 0:
-        return canon.reshape(0, 2)
-    return np.unique(canon, axis=0)
+    u, v = u[keep], v[keep]
+    if u.size == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    if n <= _COMBINED_KEY_MAX_VERTICES:
+        # Dedup + lex sort through the single combined key u*n + v
+        # (n**2 < 2**63 by the guard) — one int64 sort instead of the
+        # structured-row comparisons of np.unique(axis=0).
+        key = np.unique(u * np.int64(n) + v)
+        canon = np.empty((key.size, 2), dtype=np.int64)
+        np.floor_divide(key, n, out=canon[:, 0])
+        np.subtract(key, canon[:, 0] * np.int64(n), out=canon[:, 1])
+        return canon
+    return np.unique(np.stack([u, v], axis=1), axis=0)
 
 
 class UndirectedGraph:
@@ -46,26 +58,39 @@ class UndirectedGraph:
     the graph.
     """
 
-    __slots__ = ("indptr", "indices", "_num_edges", "_scratch")
+    __slots__ = ("indptr", "indices", "_num_edges", "_scratch",
+                 "_fingerprint")
 
     def __init__(self, indptr: np.ndarray, indices: np.ndarray):
-        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
-        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
-        # Lazily-built, read-only scratch buffers derived from the CSR
-        # arrays (heads, degree views, h-index histogram layout).  Owned
-        # per instance: derived graphs always start with an empty cache.
-        self._scratch: dict[str, np.ndarray] = {}
-        if self.indptr.ndim != 1 or self.indptr.size == 0:
+        indptr = np.ascontiguousarray(indptr)
+        indices = np.ascontiguousarray(indices)
+        if not np.issubdtype(indptr.dtype, np.integer):
+            indptr = indptr.astype(np.int64)
+        if not np.issubdtype(indices.dtype, np.integer):
+            indices = indices.astype(np.int64)
+        if indptr.ndim != 1 or indptr.size == 0:
             raise GraphError("indptr must be a 1-D array with >= 1 entry")
-        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+        if indptr[0] != 0 or indptr[-1] != indices.size:
             raise GraphError("indptr does not describe the indices array")
-        if np.any(np.diff(self.indptr) < 0):
+        if np.any(np.diff(indptr) < 0):
             raise GraphError("indptr must be non-decreasing")
-        if self.indices.size % 2 != 0:
+        if indices.size % 2 != 0:
             raise GraphError(
                 "undirected CSR must contain each edge twice; got an odd "
                 "number of adjacency entries"
             )
+        # Auto-narrow index arrays (validated above, so the cast cannot
+        # wrap): int32 halves the footprint, and the widest value any
+        # index-typed buffer must hold is the last hindex-bin offset,
+        # 2m + n (see repro.store.compact).
+        dtype = index_dtype(indptr.size - 1, indices.size + indptr.size - 1)
+        self.indptr = np.ascontiguousarray(indptr, dtype=dtype)
+        self.indices = np.ascontiguousarray(indices, dtype=dtype)
+        # Lazily-built, read-only scratch buffers derived from the CSR
+        # arrays (heads, degree views, h-index histogram layout).  Owned
+        # per instance: derived graphs always start with an empty cache.
+        self._scratch: dict[str, np.ndarray] = {}
+        self._fingerprint: Optional[str] = None
         self._num_edges = self.indices.size // 2
 
     # ------------------------------------------------------------------
@@ -98,16 +123,19 @@ class UndirectedGraph:
     def _from_canonical_edges(
         cls, num_vertices: int, canon: np.ndarray
     ) -> "UndirectedGraph":
-        """Build CSR from deduplicated (u < v) edge rows."""
-        heads = np.concatenate([canon[:, 0], canon[:, 1]])
-        tails = np.concatenate([canon[:, 1], canon[:, 0]])
-        order = np.lexsort((tails, heads))
-        heads = heads[order]
-        tails = tails[order]
-        degrees = np.bincount(heads, minlength=num_vertices)
-        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
-        np.cumsum(degrees, out=indptr[1:])
-        return cls(indptr, tails)
+        """Build CSR from deduplicated, lex-sorted (u < v) edge rows.
+
+        Every call site hands over ``np.unique(..., axis=0)`` output or a
+        CSR-ordered ``edges()`` slice, so the O(m) counting-sort builder
+        applies (``repro.store.csr``); it verifies sortedness and falls
+        back to the lexsort reference otherwise.
+        """
+        dtype = index_dtype(num_vertices,
+                            2 * canon.shape[0] + num_vertices)
+        indptr, indices = csr_from_sorted_canonical(
+            num_vertices, canon, dtype=dtype
+        )
+        return cls(indptr, indices)
 
     @classmethod
     def empty(cls, num_vertices: int = 0) -> "UndirectedGraph":
@@ -155,7 +183,8 @@ class UndirectedGraph:
         return self._cached(
             "heads",
             lambda: np.repeat(
-                np.arange(self.num_vertices, dtype=np.int64), self.degrees()
+                np.arange(self.num_vertices, dtype=self.indptr.dtype),
+                self.degrees(),
             ),
         )
 
@@ -171,13 +200,15 @@ class UndirectedGraph:
         bin_rows = self._cached(
             "hindex_bin_rows",
             lambda: np.repeat(
-                np.arange(self.num_vertices, dtype=np.int64), self.degrees() + 1
+                np.arange(self.num_vertices, dtype=self.indptr.dtype),
+                self.degrees() + 1,
             ),
         )
         return bin_ptr, bin_rows
 
     def _build_hindex_bin_ptr(self) -> np.ndarray:
-        bin_ptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        # Offsets reach 2m + n — the bound index_dtype() narrowed for.
+        bin_ptr = np.zeros(self.num_vertices + 1, dtype=self.indptr.dtype)
         np.cumsum(self.degrees() + 1, out=bin_ptr[1:])
         return bin_ptr
 
@@ -208,7 +239,11 @@ class UndirectedGraph:
         return np.stack([heads[mask], self.indices[mask]], axis=1)
 
     def iter_edges(self) -> Iterator[tuple[int, int]]:
-        """Yield edges as (u, v) tuples with u < v."""
+        """Yield edges as (u, v) tuples with u < v.
+
+        Debugging convenience only: one Python tuple per edge. Hot paths
+        should use the vectorised :meth:`edges` array instead.
+        """
         for u, v in self.edges():
             yield int(u), int(v)
 
@@ -282,6 +317,28 @@ class UndirectedGraph:
     def __repr__(self) -> str:
         return f"UndirectedGraph(n={self.num_vertices}, m={self.num_edges})"
 
-    def memory_bytes(self) -> int:
-        """Approximate resident size of the CSR arrays in bytes."""
-        return int(self.indptr.nbytes + self.indices.nbytes)
+    def fingerprint(self) -> str:
+        """Stable content hash of the CSR structure (cached).
+
+        Two graphs with identical ``indptr``/``indices`` (and dtype)
+        fingerprint identically however they were built; the engine's
+        result cache keys on this.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint_arrays(
+                "undirected", self.num_vertices, self.indptr, self.indices
+            )
+        return self._fingerprint
+
+    def memory_bytes(self, include_scratch: bool = True) -> int:
+        """Resident size in bytes of the CSR arrays.
+
+        By default this includes the lazily-built scratch buffers
+        (``degrees``/``heads``/``hindex_bins``) currently cached on the
+        instance — they are as resident as the CSR arrays themselves.
+        Pass ``include_scratch=False`` for the bare structural size.
+        """
+        total = int(self.indptr.nbytes + self.indices.nbytes)
+        if include_scratch:
+            total += sum(a.nbytes for a in self._scratch.values())
+        return total

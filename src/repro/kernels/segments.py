@@ -41,16 +41,23 @@ def concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     >>> concat_ranges(np.array([5, 0]), np.array([3, 2])).tolist()
     [5, 6, 7, 0, 1]
     """
-    starts = np.asarray(starts, dtype=np.int64)
-    lengths = np.asarray(lengths, dtype=np.int64)
+    starts = np.asarray(starts)
+    lengths = np.asarray(lengths)
+    if not np.issubdtype(starts.dtype, np.integer):
+        starts = starts.astype(np.int64)
+    if not np.issubdtype(lengths.dtype, np.integer):
+        lengths = lengths.astype(np.int64)
+    # Preserve the caller's index dtype (int32-narrowed graphs must not
+    # upcast their frontier ranges back to int64 on every sweep).
+    dtype = np.promote_types(starts.dtype, lengths.dtype)
     nonempty = lengths > 0
     if not nonempty.all():
         starts = starts[nonempty]
         lengths = lengths[nonempty]
     total = int(lengths.sum())
     if total == 0:
-        return np.empty(0, dtype=np.int64)
-    out = np.ones(total, dtype=np.int64)
+        return np.empty(0, dtype=dtype)
+    out = np.ones(total, dtype=dtype)
     out[0] = starts[0]
     boundaries = np.cumsum(lengths[:-1])
     out[boundaries] = starts[1:] - (starts[:-1] + lengths[:-1] - 1)
@@ -84,18 +91,24 @@ def segment_h_index(
     >>> segment_h_index(np.array([0, 4, 4]), np.array([4, 3, 3, 1])).tolist()
     [3, 0]
     """
-    seg_ptr = np.asarray(seg_ptr, dtype=np.int64)
+    seg_ptr = np.asarray(seg_ptr)
+    if not np.issubdtype(seg_ptr.dtype, np.integer):
+        seg_ptr = seg_ptr.astype(np.int64)
     n = seg_ptr.size - 1
     if n <= 0:
         return np.empty(0, dtype=np.int64)
     lens = np.diff(seg_ptr)
     if seg_rows is None:
-        seg_rows = np.repeat(np.arange(n, dtype=np.int64), lens)
+        seg_rows = np.repeat(np.arange(n, dtype=seg_ptr.dtype), lens)
     values = np.asarray(values)
-    clipped = np.minimum(values, lens[seg_rows]).astype(np.int64, copy=False)
+    if not np.issubdtype(values.dtype, np.integer):
+        values = values.astype(np.int64)
+    # Dtype-preserving: int32-narrowed graphs pass int32 seg_ptr/heads/
+    # bins and the histogram keys stay int32 — no per-sweep upcast copy.
+    clipped = np.minimum(values, lens[seg_rows])
     if bins is None:
         bin_ptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(lens + 1, out=bin_ptr[1:])
+        np.cumsum(lens.astype(np.int64) + 1, out=bin_ptr[1:])
         bin_rows = np.repeat(np.arange(n, dtype=np.int64), lens + 1)
     else:
         bin_ptr, bin_rows = bins

@@ -1,0 +1,39 @@
+"""Stable content fingerprints of CSR buffers.
+
+A fingerprint is a hex digest of (kind, index dtype, vertex count, and
+the raw bytes of every structural array). Two graphs with identical
+structure hash identically regardless of how they were built — text
+parse, snapshot load, or programmatic construction — which is what
+makes the fingerprint usable as a result-cache key: a graph mutated and
+rebuilt (e.g. by ``DynamicKStarCore``) gets a new fingerprint exactly
+when its structure actually changed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["fingerprint_arrays"]
+
+
+def fingerprint_arrays(kind: str, num_vertices: int,
+                       *arrays: np.ndarray) -> str:
+    """Hex digest over graph kind, dtype, size, and array contents.
+
+    ``arrays`` are the structural buffers in a fixed order (e.g.
+    ``indptr, indices`` for undirected graphs). Dtype participates in
+    the hash so an int32-narrowed graph and its forced-int64 twin are
+    distinguishable (their memory behavior differs even though their
+    structure matches).
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(kind.encode("ascii"))
+    digest.update(str(int(num_vertices)).encode("ascii"))
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(array.dtype.str.encode("ascii"))
+        digest.update(str(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()

@@ -1,0 +1,172 @@
+"""Fingerprint-keyed LRU memoization of solver results.
+
+Repeated ``engine.run()`` calls against an unchanged graph dominate the
+serving workload the ROADMAP targets; with content-addressed graphs
+(:mod:`repro.store.fingerprint`) the triple (graph fingerprint, solver
+identity, context-relevant fields) fully determines a run's outcome, so
+the engine can answer from a bounded LRU cache instead of recomputing.
+
+Invalidation is structural, not temporal: a graph mutated through
+``DynamicKStarCore`` rebuilds its CSR arrays and therefore hashes to a
+new fingerprint — stale entries are never *wrong*, only unreachable
+until evicted. Cached results are cloned on every hit (arrays, extras
+and report included) so callers can never corrupt the cached copy.
+
+Caching is opt-in: pass a :class:`ResultCache` via
+``ExecutionContext(cache=...)`` or install a process-wide default with
+:func:`enable_default_cache`.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+import numpy as np
+
+__all__ = [
+    "ResultCache",
+    "make_cache_key",
+    "get_default_cache",
+    "enable_default_cache",
+    "disable_default_cache",
+]
+
+
+def _hashable(value: Any) -> Optional[Hashable]:
+    """Best-effort conversion to a hashable key component (None = no)."""
+    if isinstance(value, (str, int, float, bool, bytes)) or value is None:
+        return value
+    if isinstance(value, (tuple, list)):
+        parts = tuple(_hashable(item) for item in value)
+        return None if any(p is None for p in parts) else parts
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, _hashable(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+    return None
+
+
+def make_cache_key(
+    fingerprint: str,
+    kind: str,
+    solver: str,
+    ctx,
+    options: dict,
+) -> Optional[tuple]:
+    """Cache key for a run, or None when the run is not cacheable.
+
+    Covers every context field that can influence a solver's output or
+    its report (thread count changes simulated seconds; seed, sanitize,
+    frontier, budgets and cluster shape change behavior). A pre-supplied
+    ``ctx.runtime`` carries arbitrary prior state, and unhashable option
+    values cannot be keyed — both make the run uncacheable.
+    """
+    if ctx.runtime is not None:
+        return None
+    option_items = []
+    for name in sorted(options):
+        converted = _hashable(options[name])
+        if converted is None and options[name] is not None:
+            return None
+        option_items.append((name, converted))
+    cluster = _hashable(ctx.cluster_config)
+    if cluster is None and ctx.cluster_config is not None:
+        return None
+    return (
+        fingerprint,
+        kind,
+        solver,
+        ctx.num_threads,
+        ctx.seed,
+        ctx.sanitize,
+        ctx.frontier,
+        ctx.time_limit,
+        ctx.memory_limit_bytes,
+        cluster,
+        tuple(option_items),
+    )
+
+
+def clone_result(result):
+    """Deep-enough copy of a solver result for safe cache sharing.
+
+    Copies every array/dict/list field so neither side can mutate the
+    other's view; scalar fields and the frozen report are shared.
+    """
+    clone = copy.copy(result)
+    for field in dataclasses.fields(result):
+        value = getattr(result, field.name)
+        if isinstance(value, np.ndarray):
+            setattr(clone, field.name, value.copy())
+        elif isinstance(value, dict):
+            setattr(clone, field.name, dict(value))
+        elif isinstance(value, list):
+            setattr(clone, field.name, list(value))
+    return clone
+
+
+class ResultCache:
+    """Bounded LRU cache of solver results keyed by :func:`make_cache_key`."""
+
+    def __init__(self, max_entries: int = 128):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Optional[tuple]):
+        """Return a cloned cached result, or None on miss."""
+        if key is None:
+            return None
+        cached = self._entries.get(key)
+        if cached is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return clone_result(cached)
+
+    def put(self, key: Optional[tuple], result) -> None:
+        """Store a cloned result, evicting the least recently used."""
+        if key is None:
+            return
+        self._entries[key] = clone_result(result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+_DEFAULT_CACHE: Optional[ResultCache] = None
+
+
+def get_default_cache() -> Optional[ResultCache]:
+    """The process-wide default cache, or None when caching is off."""
+    return _DEFAULT_CACHE
+
+
+def enable_default_cache(max_entries: int = 128) -> ResultCache:
+    """Install (or resize) the process-wide default result cache."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = ResultCache(max_entries=max_entries)
+    return _DEFAULT_CACHE
+
+
+def disable_default_cache() -> None:
+    """Remove the process-wide default cache (per-context caches remain)."""
+    global _DEFAULT_CACHE
+    _DEFAULT_CACHE = None

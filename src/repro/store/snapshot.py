@@ -1,0 +1,229 @@
+"""Binary graph snapshots: uncompressed ``.npz`` with mmap-backed loads.
+
+A snapshot stores the *built* CSR arrays, not the edge list, so loading
+skips text parsing, normalization and CSR construction entirely. Saved
+uncompressed (``np.savez``), every member is a plain ``.npy`` blob at a
+fixed offset inside the zip container — :func:`load_snapshot` maps the
+large index arrays straight off disk with ``np.memmap``, so a load
+touches O(1) bytes until an algorithm actually walks the adjacency
+structure.
+
+Each snapshot carries the graph's content fingerprint; loads adopt it
+(when the on-disk dtype is kept) so a snapshot round-trip costs no
+re-hash and engine-cache keys survive the round trip.
+
+The legacy edge-list ``.npz`` layout written by older ``save_npz``
+versions (fields ``kind``/``num_vertices``/``edges``) still loads.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+from ..errors import GraphError, GraphFormatError
+
+__all__ = ["save_snapshot", "load_snapshot", "SNAPSHOT_VERSION"]
+
+PathLike = Union[str, Path]
+
+SNAPSHOT_VERSION = 1
+
+_UNDIRECTED_ARRAYS = ("indptr", "indices")
+_DIRECTED_ARRAYS = (
+    "edge_src",
+    "edge_dst",
+    "out_indptr",
+    "out_indices",
+    "out_edge_ids",
+    "in_indptr",
+    "in_indices",
+    "in_edge_ids",
+)
+
+
+def save_snapshot(graph, path: PathLike) -> str:
+    """Write ``graph`` to an uncompressed ``.npz`` snapshot.
+
+    Returns the graph's content fingerprint (also stored in the file).
+    Accepts :class:`~repro.graph.UndirectedGraph` and
+    :class:`~repro.graph.DirectedGraph`.
+    """
+    from ..graph.directed import DirectedGraph
+    from ..graph.undirected import UndirectedGraph
+
+    if not isinstance(graph, (UndirectedGraph, DirectedGraph)):
+        raise GraphError(f"cannot snapshot object of type {type(graph)!r}")
+    fingerprint = graph.fingerprint()
+    common = {
+        "format_version": np.array(SNAPSHOT_VERSION, dtype=np.int64),
+        "num_vertices": np.array(graph.num_vertices, dtype=np.int64),
+        "fingerprint": np.array(fingerprint),
+    }
+    if isinstance(graph, UndirectedGraph):
+        np.savez(
+            path,
+            kind=np.array("undirected"),
+            indptr=graph.indptr,
+            indices=graph.indices,
+            **common,
+        )
+    else:
+        np.savez(
+            path,
+            kind=np.array("directed"),
+            **{name: getattr(graph, name if name.startswith(("out_", "in_"))
+                             else f"_{name}")
+               for name in _DIRECTED_ARRAYS},
+            **common,
+        )
+    return fingerprint
+
+
+def _mmap_npz_array(path: str, info: zipfile.ZipInfo,
+                    member_file) -> np.ndarray:
+    """Memory-map one uncompressed ``.npy`` member of a zip container.
+
+    The absolute data offset is the member's local-file-header offset
+    plus the 30-byte header, its name and extra fields, plus the parsed
+    ``.npy`` header length.
+    """
+    version = npy_format.read_magic(member_file)
+    if version == (1, 0):
+        header = npy_format.read_array_header_1_0(member_file)
+    elif version == (2, 0):
+        header = npy_format.read_array_header_2_0(member_file)
+    else:
+        raise ValueError(f"unsupported .npy version {version}")
+    shape, fortran_order, dtype = header
+    npy_header_len = member_file.tell()
+    with open(path, "rb") as raw:
+        raw.seek(info.header_offset)
+        local_header = raw.read(30)
+    if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+        raise ValueError("corrupt zip local header")
+    name_len = int.from_bytes(local_header[26:28], "little")
+    extra_len = int.from_bytes(local_header[28:30], "little")
+    offset = info.header_offset + 30 + name_len + extra_len + npy_header_len
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=offset,
+        shape=shape,
+        order="F" if fortran_order else "C",
+    )
+
+
+def _load_arrays(path: str, names: tuple, mmap: bool) -> dict:
+    """Load the named array members, mmap-backed when possible."""
+    arrays = {}
+    if mmap:
+        try:
+            with zipfile.ZipFile(path) as container:
+                for name in names:
+                    info = container.getinfo(f"{name}.npy")
+                    if info.compress_type != zipfile.ZIP_STORED:
+                        raise ValueError("compressed member")
+                    with container.open(info) as member_file:
+                        arrays[name] = _mmap_npz_array(
+                            path, info, member_file
+                        )
+            return arrays
+        except (ValueError, OSError, KeyError):
+            arrays.clear()  # unexpected layout: fall through to np.load
+    with np.load(path, allow_pickle=False) as data:
+        for name in names:
+            arrays[name] = data[name]
+    return arrays
+
+
+def load_snapshot(path: PathLike, mmap: bool = True):
+    """Load a graph snapshot written by :func:`save_snapshot`.
+
+    With ``mmap=True`` (default) the index arrays of version-1 snapshots
+    are memory-mapped read-only instead of copied into RAM. Malformed,
+    truncated or inconsistent files raise :class:`GraphFormatError`;
+    legacy edge-list ``.npz`` files are rebuilt via ``from_edges``.
+    """
+    from ..graph.directed import DirectedGraph
+    from ..graph.undirected import UndirectedGraph
+
+    path_str = str(path)
+    try:
+        with np.load(path_str, allow_pickle=False) as data:
+            fields = set(data.files)
+            try:
+                kind = str(data["kind"])
+                num_vertices = int(data["num_vertices"])
+            except KeyError as exc:
+                raise GraphFormatError(
+                    f"{path_str}: missing field {exc}"
+                ) from exc
+            if "edges" in fields:  # legacy edge-list layout
+                edges = data["edges"]
+                if kind == "directed":
+                    return DirectedGraph.from_edges(num_vertices, edges)
+                if kind == "undirected":
+                    return UndirectedGraph.from_edges(num_vertices, edges)
+                raise GraphFormatError(
+                    f"{path_str}: unknown graph kind {kind!r}"
+                )
+            fingerprint = (
+                str(data["fingerprint"]) if "fingerprint" in fields else None
+            )
+    except GraphFormatError:
+        raise
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise GraphFormatError(
+            f"{path_str}: not a valid graph snapshot ({exc})"
+        ) from exc
+
+    if kind == "undirected":
+        required: tuple = _UNDIRECTED_ARRAYS
+    elif kind == "directed":
+        required = _DIRECTED_ARRAYS
+    else:
+        raise GraphFormatError(f"{path_str}: unknown graph kind {kind!r}")
+
+    try:
+        arrays = _load_arrays(path_str, required, mmap)
+    except KeyError as exc:
+        raise GraphFormatError(f"{path_str}: missing field {exc}") from exc
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise GraphFormatError(
+            f"{path_str}: not a valid graph snapshot ({exc})"
+        ) from exc
+
+    try:
+        if kind == "undirected":
+            graph = UndirectedGraph(arrays["indptr"], arrays["indices"])
+        else:
+            graph = DirectedGraph._from_csr_arrays(
+                num_vertices, *(arrays[name] for name in _DIRECTED_ARRAYS)
+            )
+    except GraphError as exc:
+        raise GraphFormatError(
+            f"{path_str}: inconsistent snapshot arrays ({exc})"
+        ) from exc
+
+    if fingerprint is not None and _dtypes_preserved(graph, arrays):
+        # Trusted adoption: re-hashing would page in every mmapped byte.
+        graph._fingerprint = fingerprint
+    return graph
+
+
+def _dtypes_preserved(graph, arrays: dict) -> bool:
+    """Whether the constructed graph kept the on-disk index dtype.
+
+    Dtype participates in the fingerprint, so the stored hash is only
+    adopted when construction did not re-narrow or re-widen the arrays
+    (e.g. under the forced-int64 escape hatch).
+    """
+    if hasattr(graph, "indptr"):
+        return graph.indptr.dtype == arrays["indptr"].dtype
+    return graph.out_indptr.dtype == arrays["out_indptr"].dtype

@@ -52,7 +52,7 @@ class TestEngineMatchesDirectCalls:
         runtime = SimRuntime(num_threads=THREADS)
         direct_result = pkmc(graph, runtime=runtime)
         direct_report = RunReport.from_run(
-            get_solver("uds", "pkmc"), direct_result, runtime
+            get_solver("uds", "pkmc"), direct_result, runtime, graph=graph
         )
 
         assert engine_result.report == direct_report
@@ -67,7 +67,8 @@ class TestEngineMatchesDirectCalls:
         runtime = SimRuntime(num_threads=THREADS)
         direct_result = pwc(chung_lu_dds, runtime=runtime)
         direct_report = RunReport.from_run(
-            get_solver("dds", "pwc"), direct_result, runtime
+            get_solver("dds", "pwc"), direct_result, runtime,
+            graph=chung_lu_dds,
         )
 
         assert engine_result.report == direct_report
@@ -84,6 +85,17 @@ class TestEngineMatchesDirectCalls:
         assert report.peak_frontier >= clique_graph.num_vertices
         assert report.simulated_seconds > 0.0
         assert set(report.breakdown) >= {"work", "serial", "total"}
+
+    def test_graph_memory_includes_scratch_buffers(self):
+        graph = chung_lu_undirected(120, 480, seed=3)
+        report = run("pkmc", graph, ExecutionContext(num_threads=4)).report
+        # Solvers touch degrees()/heads() and friends, so the report's
+        # graph footprint is the structural size plus the scratch the run
+        # actually materialised — exactly graph.memory_bytes() afterwards.
+        assert report.graph_memory_bytes == graph.memory_bytes()
+        assert report.graph_memory_bytes > graph.memory_bytes(
+            include_scratch=False
+        )
 
     def test_as_dict_roundtrips_every_field(self, clique_graph):
         report = run("pkmc", clique_graph).report

@@ -22,6 +22,25 @@ class TestGraphBuilder:
         assert labels == [10, 20, 30]
         assert graph.num_vertices == 3
 
+    def test_mixed_type_tokens_are_distinct_vertices(self):
+        # Dict semantics, not textual rendering: int 1 != str "1".
+        builder = GraphBuilder()
+        builder.add_edge(1, "1").add_edge("1", 2)
+        graph, labels = builder.build_with_labels()
+        assert labels == [1, "1", 2]
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+
+    def test_bool_and_int_tokens_collide_first_seen_label_wins(self):
+        # True == 1 and hash(True) == hash(1), so they intern to one
+        # vertex; the stored label is the first token seen.
+        builder = GraphBuilder()
+        builder.add_edge(True, 0).add_edge(1, 2)
+        graph, labels = builder.build_with_labels()
+        assert labels == [True, 0, 2]
+        assert graph.num_vertices == 3
+        assert graph.has_edge(0, 2)  # the "1" endpoint is vertex True
+
     def test_bulk_ids(self):
         builder = GraphBuilder()
         builder.add_edges_from_ids(np.array([[0, 1], [1, 2]]), num_vertices=5)

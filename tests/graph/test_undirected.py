@@ -91,6 +91,27 @@ class TestAccessors:
     def test_memory_bytes_positive(self, fig2_graph):
         assert fig2_graph.memory_bytes() > 0
 
+    def test_memory_bytes_accounts_for_scratch(self):
+        # Fresh instance: the module-scoped fixtures may already carry
+        # scratch buffers from earlier tests.
+        g = UndirectedGraph.from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        structural = g.memory_bytes(include_scratch=False)
+        assert structural == g.indptr.nbytes + g.indices.nbytes
+        assert g.memory_bytes() == structural
+
+        expected = structural
+        expected += g.degrees().nbytes
+        assert g.memory_bytes() == expected
+        expected += g.heads().nbytes
+        assert g.memory_bytes() == expected
+        bin_ptr, bin_rows = g.hindex_bins()
+        expected += bin_ptr.nbytes + bin_rows.nbytes
+        assert g.memory_bytes() == expected
+        # Re-requesting cached buffers must not grow the accounting.
+        g.degrees(), g.heads(), g.hindex_bins()
+        assert g.memory_bytes() == expected
+        assert g.memory_bytes(include_scratch=False) == structural
+
 
 class TestDerivedGraphs:
     def test_induced_subgraph_of_clique(self, fig2_graph):

@@ -1,0 +1,115 @@
+"""Counting-sort CSR builders == the lexsort reference, bit for bit.
+
+This is the equivalence suite the docstring of :mod:`repro.store.csr`
+points at: every builder output (``indptr`` and ``indices``) must equal
+the original lexsort formulation exactly, across graph families, both
+index dtypes, and shuffled inputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import chung_lu_undirected
+from repro.store.compact import forced_int64
+from repro.store.csr import (
+    _sort_key_dtype,
+    counting_sort_csr,
+    csr_from_sorted_canonical,
+    reference_csr_from_canonical,
+)
+
+
+def star_edges(n):
+    spokes = np.arange(1, n, dtype=np.int64)
+    return np.stack([np.zeros(n - 1, dtype=np.int64), spokes], axis=1)
+
+
+def path_edges(n):
+    left = np.arange(n - 1, dtype=np.int64)
+    return np.stack([left, left + 1], axis=1)
+
+
+def clique_edges(n):
+    u, v = np.triu_indices(n, k=1)
+    return np.stack([u.astype(np.int64), v.astype(np.int64)], axis=1)
+
+
+def chung_lu_edges(n, m, seed):
+    return chung_lu_undirected(n, m, seed=seed).edges()
+
+
+FAMILIES = [
+    pytest.param(0, np.empty((0, 2), dtype=np.int64), id="empty"),
+    pytest.param(1, np.empty((0, 2), dtype=np.int64), id="single-vertex"),
+    pytest.param(9, star_edges(9), id="star"),
+    pytest.param(12, path_edges(12), id="path"),
+    pytest.param(8, clique_edges(8), id="clique"),
+    pytest.param(300, chung_lu_edges(300, 900, 3), id="chung-lu-small"),
+    pytest.param(1500, chung_lu_edges(1500, 6000, 4), id="chung-lu-medium"),
+]
+
+
+@pytest.mark.parametrize("num_vertices, canon", FAMILIES)
+@pytest.mark.parametrize("dtype", [np.int32, np.int64], ids=["int32", "int64"])
+def test_undirected_builder_matches_reference(num_vertices, canon, dtype):
+    ref_indptr, ref_indices = reference_csr_from_canonical(num_vertices, canon)
+    indptr, indices = csr_from_sorted_canonical(num_vertices, canon, dtype=dtype)
+    assert indptr.dtype == np.dtype(dtype)
+    assert indices.dtype == np.dtype(dtype)
+    assert np.array_equal(indptr, ref_indptr)
+    assert np.array_equal(indices, ref_indices)
+
+
+@pytest.mark.parametrize("num_vertices, canon", FAMILIES)
+def test_directed_builder_matches_lexsort(num_vertices, canon):
+    # Treat the canonical list as arcs in both directions so heads
+    # carry duplicates and ties exercise stability.
+    heads = np.concatenate([canon[:, 0], canon[:, 1]])
+    tails = np.concatenate([canon[:, 1], canon[:, 0]])
+    indptr, indices, order = counting_sort_csr(num_vertices, heads, tails)
+    expected_order = np.lexsort((tails, heads))
+    assert np.array_equal(order, expected_order)
+    assert np.array_equal(indices, tails[expected_order])
+    degrees = np.bincount(heads, minlength=num_vertices)
+    assert np.array_equal(np.diff(indptr), degrees)
+
+
+def test_unsorted_input_falls_back_to_reference():
+    canon = clique_edges(6)
+    rng = np.random.default_rng(0)
+    shuffled = canon[rng.permutation(canon.shape[0])]
+    ref = reference_csr_from_canonical(6, shuffled)
+    got = csr_from_sorted_canonical(6, shuffled)
+    assert np.array_equal(got[0], ref[0])
+    assert np.array_equal(got[1], ref[1])
+
+
+def test_forced_int64_graph_matches_narrowed_graph_structure():
+    from repro.graph import UndirectedGraph
+
+    edges = chung_lu_edges(400, 1600, 5)
+    narrow = UndirectedGraph.from_edges(400, edges)
+    with forced_int64():
+        wide = UndirectedGraph.from_edges(400, edges)
+    assert narrow.indptr.dtype == np.dtype(np.int32)
+    assert wide.indptr.dtype == np.dtype(np.int64)
+    assert np.array_equal(narrow.indptr, wide.indptr)
+    assert np.array_equal(narrow.indices, wide.indices)
+
+
+class TestSortKeyDtype:
+    def test_thresholds(self):
+        assert _sort_key_dtype(1) == np.dtype(np.uint16)
+        assert _sort_key_dtype(1 << 16) == np.dtype(np.uint16)
+        assert _sort_key_dtype((1 << 16) + 1) == np.dtype(np.uint32)
+        assert _sort_key_dtype(1 << 32) == np.dtype(np.uint32)
+        assert _sort_key_dtype((1 << 32) + 1) == np.dtype(np.int64)
+
+    def test_narrowed_key_preserves_order(self):
+        # Values up to the uint16 boundary must survive the cast.
+        values = np.array([0, 65535, 1, 65534, 2], dtype=np.int64)
+        narrowed = values.astype(_sort_key_dtype(1 << 16))
+        assert np.array_equal(
+            np.argsort(narrowed, kind="stable"),
+            np.argsort(values, kind="stable"),
+        )

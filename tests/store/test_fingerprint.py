@@ -1,0 +1,81 @@
+"""Content fingerprints: stable across construction paths, sensitive to
+structure, kind and dtype."""
+
+import io
+
+import numpy as np
+
+from repro.graph import DirectedGraph, UndirectedGraph
+from repro.graph.io import read_undirected_edgelist
+from repro.store.fingerprint import fingerprint_arrays
+
+EDGES = [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+
+def test_identical_structure_same_fingerprint():
+    a = UndirectedGraph.from_edges(4, EDGES)
+    b = UndirectedGraph.from_edges(4, list(reversed(EDGES)))
+    assert a.fingerprint() == b.fingerprint()
+
+
+def test_text_parse_matches_programmatic_construction():
+    text = "".join(f"{u} {v}\n" for u, v in EDGES)
+    parsed, _ = read_undirected_edgelist(io.StringIO(text))
+    built = UndirectedGraph.from_edges(4, EDGES)
+    assert parsed.fingerprint() == built.fingerprint()
+
+
+def test_structural_change_changes_fingerprint():
+    base = UndirectedGraph.from_edges(4, EDGES)
+    grown = UndirectedGraph.from_edges(4, EDGES + [(1, 3)])
+    assert base.fingerprint() != grown.fingerprint()
+
+
+def test_vertex_count_changes_fingerprint():
+    # Same edges, one extra isolated vertex: different graphs.
+    a = UndirectedGraph.from_edges(4, EDGES)
+    b = UndirectedGraph.from_edges(5, EDGES)
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_directed_and_undirected_are_distinct():
+    undirected = UndirectedGraph.from_edges(4, EDGES)
+    directed = DirectedGraph.from_edges(4, EDGES)
+    assert undirected.fingerprint() != directed.fingerprint()
+
+
+def test_fingerprint_is_cached_per_instance():
+    graph = UndirectedGraph.from_edges(4, EDGES)
+    assert graph._fingerprint is None
+    first = graph.fingerprint()
+    assert graph._fingerprint == first
+    assert graph.fingerprint() == first
+
+
+class TestFingerprintArrays:
+    def test_dtype_sensitivity(self):
+        values = np.array([0, 1, 2], dtype=np.int64)
+        assert fingerprint_arrays("undirected", 3, values) != fingerprint_arrays(
+            "undirected", 3, values.astype(np.int32)
+        )
+
+    def test_kind_sensitivity(self):
+        values = np.array([0, 1, 2], dtype=np.int64)
+        assert fingerprint_arrays("undirected", 3, values) != fingerprint_arrays(
+            "directed", 3, values
+        )
+
+    def test_content_sensitivity(self):
+        a = np.array([0, 1, 2], dtype=np.int64)
+        b = np.array([0, 1, 3], dtype=np.int64)
+        assert fingerprint_arrays("undirected", 3, a) != fingerprint_arrays(
+            "undirected", 3, b
+        )
+
+    def test_non_contiguous_input_hashes_like_contiguous(self):
+        wide = np.arange(10, dtype=np.int64)
+        strided = wide[::2]
+        contiguous = np.ascontiguousarray(strided)
+        assert fingerprint_arrays("undirected", 5, strided) == fingerprint_arrays(
+            "undirected", 5, contiguous
+        )

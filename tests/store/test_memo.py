@@ -1,0 +1,189 @@
+"""Result memoization: keys, LRU behaviour, and engine integration.
+
+The cache contract: a second ``engine.run`` of the same (graph
+fingerprint, solver, context, options) answers from the cache with
+``report.cache_hit`` set, bit-identical results and no additional
+simulated work; any structural mutation or context change misses.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import DynamicKStarCore
+from repro.engine import ExecutionContext
+from repro.engine import run as engine_run
+from repro.graph import UndirectedGraph
+from repro.store.memo import (
+    ResultCache,
+    disable_default_cache,
+    enable_default_cache,
+    get_default_cache,
+    make_cache_key,
+)
+
+EDGES = [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (1, 3)]
+
+
+@pytest.fixture
+def graph():
+    return UndirectedGraph.from_edges(5, EDGES)
+
+
+class TestMakeCacheKey:
+    def test_key_covers_identity(self, graph):
+        ctx = ExecutionContext(num_threads=4)
+        key = make_cache_key(graph.fingerprint(), "uds", "pkmc", ctx, {})
+        assert key is not None
+        assert graph.fingerprint() in key
+        assert "pkmc" in key
+
+    def test_preset_runtime_is_uncacheable(self, graph):
+        ctx = ExecutionContext(num_threads=4)
+        ctx.runtime = object()
+        assert make_cache_key(graph.fingerprint(), "uds", "pkmc", ctx, {}) is None
+
+    def test_unhashable_option_is_uncacheable(self, graph):
+        ctx = ExecutionContext()
+        key = make_cache_key(
+            graph.fingerprint(), "uds", "pkmc", ctx, {"hook": object()}
+        )
+        assert key is None
+
+    def test_context_fields_change_the_key(self, graph):
+        fp = graph.fingerprint()
+        base = make_cache_key(fp, "uds", "pkmc", ExecutionContext(), {})
+        variants = [
+            ExecutionContext(num_threads=8),
+            ExecutionContext(seed=7),
+            ExecutionContext(sanitize=True),
+            ExecutionContext(frontier=True),
+            ExecutionContext(time_limit=1.0),
+        ]
+        keys = {make_cache_key(fp, "uds", "pkmc", ctx, {}) for ctx in variants}
+        assert base not in keys
+        assert len(keys) == len(variants)
+
+    def test_options_change_the_key(self, graph):
+        fp = graph.fingerprint()
+        ctx = ExecutionContext()
+        assert make_cache_key(fp, "uds", "pbu", ctx, {"epsilon": 0.5}) != (
+            make_cache_key(fp, "uds", "pbu", ctx, {"epsilon": 0.1})
+        )
+
+
+class TestResultCache:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+    def test_lru_eviction_order(self, graph):
+        cache = ResultCache(max_entries=2)
+        result = engine_run("pkmc", graph, ExecutionContext())
+        keys = [("k", i) for i in range(3)]
+        cache.put(keys[0], result)
+        cache.put(keys[1], result)
+        assert cache.get(keys[0]) is not None  # refresh key 0
+        cache.put(keys[2], result)  # evicts key 1, the LRU entry
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[2]) is not None
+        assert len(cache) == 2
+
+    def test_hit_returns_an_isolated_clone(self, graph):
+        cache = ResultCache()
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("k",), result)
+        first = cache.get(("k",))
+        first.vertices[0] = 99
+        second = cache.get(("k",))
+        assert second.vertices[0] != 99
+
+    def test_put_clones_the_stored_copy(self, graph):
+        cache = ResultCache()
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("k",), result)
+        result.vertices[0] = 77
+        assert cache.get(("k",)).vertices[0] != 77
+
+    def test_counters_and_clear(self, graph):
+        cache = ResultCache()
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("k",), result)
+        cache.get(("k",))
+        cache.get(("missing",))
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert (cache.hits, cache.misses, len(cache)) == (0, 0, 0)
+
+    def test_none_key_is_a_no_op(self, graph):
+        cache = ResultCache()
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(None, result)
+        assert len(cache) == 0
+        assert cache.get(None) is None
+
+
+class TestEngineIntegration:
+    def test_second_run_hits_with_identical_results(self, graph):
+        cache = ResultCache()
+        cold = engine_run("pkmc", graph, ExecutionContext(cache=cache))
+        hit = engine_run("pkmc", graph, ExecutionContext(cache=cache))
+        assert not cold.report.cache_hit
+        assert hit.report.cache_hit
+        assert hit.density == cold.density  # repro-lint: disable=R004 (cache hits must be bit-identical clones)
+        assert np.array_equal(hit.vertices, cold.vertices)
+        # No additional simulated work: the report is the cold report
+        # except for the hit marker.
+        assert replace(hit.report, cache_hit=False) == cold.report
+
+    def test_differing_context_misses(self, graph):
+        cache = ResultCache()
+        engine_run("pkmc", graph, ExecutionContext(num_threads=2, cache=cache))
+        other = engine_run(
+            "pkmc", graph, ExecutionContext(num_threads=4, cache=cache)
+        )
+        assert not other.report.cache_hit
+
+    def test_dynamic_mutation_invalidates(self):
+        core = DynamicKStarCore(6)
+        core.insert_edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+        cache = ResultCache()
+        before = core.graph().fingerprint()
+        engine_run("pkmc", core.graph(), ExecutionContext(cache=cache))
+        warm = engine_run("pkmc", core.graph(), ExecutionContext(cache=cache))
+        assert warm.report.cache_hit
+
+        assert core.insert_edge(3, 4)
+        mutated = core.graph()
+        assert mutated.fingerprint() != before
+        fresh = engine_run("pkmc", mutated, ExecutionContext(cache=cache))
+        assert not fresh.report.cache_hit
+
+        # Deleting the edge restores the old structure — and the old
+        # fingerprint makes the original entry reachable again.
+        assert core.delete_edge(3, 4)
+        restored = engine_run("pkmc", core.graph(), ExecutionContext(cache=cache))
+        assert restored.report.cache_hit
+
+    def test_default_cache_opt_in(self, graph):
+        assert get_default_cache() is None
+        enable_default_cache(max_entries=4)
+        try:
+            cold = engine_run("pkmc", graph, ExecutionContext())
+            hit = engine_run("pkmc", graph, ExecutionContext())
+            assert not cold.report.cache_hit
+            assert hit.report.cache_hit
+        finally:
+            disable_default_cache()
+        assert get_default_cache() is None
+
+    def test_uncacheable_run_with_preset_runtime(self, graph):
+        from repro.runtime import SimRuntime
+
+        cache = ResultCache()
+        ctx = ExecutionContext(cache=cache)
+        ctx.runtime = SimRuntime(num_threads=2)
+        engine_run("pkmc", graph, ctx)
+        assert len(cache) == 0

@@ -1,0 +1,172 @@
+"""Vectorized reader == strict line-by-line reader, errors included.
+
+Every test parses the same text through both paths of
+``read_undirected_edgelist`` and requires identical graphs, identical
+labels, and — for malformed inputs — identical
+:class:`~repro.errors.GraphFormatError` messages.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import read_undirected_edgelist
+from repro.store.reader import _first_seen_ids, read_edges_vectorized
+
+
+def parse_both(text):
+    """Parse ``text`` through both reader paths; return the fast result.
+
+    Raises AssertionError unless graphs and labels agree exactly.
+    """
+    fast = read_undirected_edgelist(io.StringIO(text), vectorized=True)
+    strict = read_undirected_edgelist(io.StringIO(text), vectorized=False)
+    graph_fast, labels_fast = fast
+    graph_strict, labels_strict = strict
+    assert labels_fast == labels_strict
+    assert np.array_equal(graph_fast.indptr, graph_strict.indptr)
+    assert np.array_equal(graph_fast.indices, graph_strict.indices)
+    return fast
+
+
+def error_both(text):
+    """Both paths must raise GraphFormatError with the same message."""
+    with pytest.raises(GraphFormatError) as fast:
+        read_undirected_edgelist(io.StringIO(text), vectorized=True)
+    with pytest.raises(GraphFormatError) as strict:
+        read_undirected_edgelist(io.StringIO(text), vectorized=False)
+    assert str(fast.value) == str(strict.value)
+    return str(fast.value)
+
+
+EQUIVALENT_TEXTS = [
+    pytest.param("0 1\n1 2\n2 0\n", id="plain-triangle"),
+    pytest.param("5 3\n3 9\n9 5\n5 9\n", id="first-seen-order-and-dupes"),
+    pytest.param("-1 -2\n-2 7\n", id="negative-integer-labels"),
+    pytest.param("# header\n0 1\n% matrix-market style\n1 2\n", id="comments"),
+    pytest.param("\n0 1\n\n\n1 2\n\n", id="blank-lines"),
+    pytest.param("  0 1\n\t1 2\n", id="indented-data-lines"),
+    pytest.param("0 1 99\n1 2 42\n", id="third-column-ignored"),
+    pytest.param("0\t1\r\n1\t2\r\n", id="tabs-and-carriage-returns"),
+    pytest.param("0 1\n1 2", id="no-trailing-newline"),
+    pytest.param("", id="empty-text"),
+    pytest.param("# only\n% comments\n", id="comments-only"),
+    pytest.param("1 -2\n-2 1\n", id="negative-second-column"),
+    pytest.param("-0 4\n4 1\n", id="minus-zero-token-stays-string"),
+    pytest.param("12345678901234567890123 1\n1 2\n", id="token-beyond-2**53"),
+    pytest.param("1e3 2\n2 3\n", id="scientific-notation-is-a-string"),
+    pytest.param("7 007\n007 1\n", id="leading-zero-token-stays-string"),
+    pytest.param("a b\nb c\n", id="string-labels"),
+    pytest.param("node1 2\n2 node1\n", id="mixed-alpha-numeric-labels"),
+    pytest.param("0 1\n#\n%\n1 0\n", id="bare-comment-markers"),
+]
+
+
+@pytest.mark.parametrize("text", EQUIVALENT_TEXTS)
+def test_equivalent_parse(text):
+    parse_both(text)
+
+
+MALFORMED_TEXTS = [
+    pytest.param("0 1\n2\n3 4\n", id="one-column-line"),
+    pytest.param("1 2\n3\n4 5 6\n", id="ragged-with-coinciding-token-total"),
+    pytest.param("1-2\n", id="embedded-minus-is-one-token"),
+    pytest.param("# ok\nlonely\n", id="single-string-token"),
+]
+
+
+@pytest.mark.parametrize("text", MALFORMED_TEXTS)
+def test_identical_errors(text):
+    message = error_both(text)
+    assert "expected at least two columns" in message
+
+
+def test_error_reports_the_right_line_number():
+    message = error_both("0 1\n# comment\n\n2\n")
+    assert message.startswith("<stream>:4:")
+
+
+def test_numeric_labels_are_canonical_strings():
+    _, labels = parse_both("10 -3\n-3 0\n")
+    assert labels == ["10", "-3", "0"]
+    assert all(isinstance(label, str) for label in labels)
+
+
+def test_first_seen_order_matches_interleaved_tokens():
+    _, labels = parse_both("7 3\n3 5\n5 7\n")
+    assert labels == ["7", "3", "5"]
+
+
+def test_read_edges_vectorized_shapes():
+    ids, labels = read_edges_vectorized(io.StringIO("4 2\n2 4\n4 8\n"))
+    assert ids.shape == (3, 2)
+    assert ids.dtype == np.int64
+    assert labels == ["4", "2", "8"]
+    # ids index into labels in first-seen order.
+    assert ids.tolist() == [[0, 1], [1, 0], [0, 2]]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_fuzz_random_numeric_files(seed):
+    rng = np.random.default_rng(seed)
+    m = int(rng.integers(1, 60))
+    lo, hi = -50, 10_000
+    lines = []
+    for _ in range(m):
+        u, v = rng.integers(lo, hi, size=2)
+        roll = rng.random()
+        if roll < 0.1:
+            lines.append(f"# noise {u}")
+        elif roll < 0.2:
+            lines.append("")
+        else:
+            sep = "\t" if rng.random() < 0.3 else " "
+            lines.append(f"{u}{sep}{v}")
+    parse_both("\n".join(lines) + ("\n" if rng.random() < 0.5 else ""))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_fuzz_random_string_files(seed):
+    rng = np.random.default_rng(100 + seed)
+    tokens = ["a", "bb", "x9", "-0", "007", "1e2", "n_1"]
+    lines = [
+        f"{tokens[rng.integers(len(tokens))]} {tokens[rng.integers(len(tokens))]}"
+        for _ in range(int(rng.integers(1, 40)))
+    ]
+    parse_both("\n".join(lines) + "\n")
+
+
+class TestFirstSeenInterner:
+    """The dense direct-address table agrees with the np.unique fallback."""
+
+    def test_dense_and_generic_agree(self):
+        rng = np.random.default_rng(7)
+        flat = rng.integers(-20, 300, size=500)
+        ids_dense, uniq_dense = _first_seen_ids(flat)
+        # Strings always take the generic np.unique path.
+        ids_generic, uniq_generic = _first_seen_ids(
+            flat.astype(np.str_)
+        )
+        assert np.array_equal(ids_dense, ids_generic)
+        assert [str(v) for v in uniq_dense.tolist()] == list(uniq_generic)
+
+    def test_sparse_values_fall_back_to_generic(self):
+        # Span >> 4 * size: the dense table would be wasteful; the
+        # generic path must still produce first-seen order.
+        flat = np.array([10**12, 5, 10**12, -3, 5], dtype=np.int64)
+        ids, uniq = _first_seen_ids(flat)
+        assert uniq.tolist() == [10**12, 5, -3]
+        assert ids.tolist() == [0, 1, 0, 2, 1]
+
+    def test_matches_python_reference(self):
+        rng = np.random.default_rng(11)
+        flat = rng.integers(0, 40, size=200)
+        ids, uniq = _first_seen_ids(flat)
+        seen: dict = {}
+        expected_ids = []
+        for value in flat.tolist():
+            expected_ids.append(seen.setdefault(value, len(seen)))
+        assert ids.tolist() == expected_ids
+        assert uniq.tolist() == list(seen)

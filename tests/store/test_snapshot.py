@@ -1,0 +1,171 @@
+"""Snapshot round-trips, mmap-backed loads, and malformed-file errors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import DirectedGraph, UndirectedGraph
+from repro.graph.io import load_npz, save_npz
+from repro.store.compact import forced_int64
+from repro.store.snapshot import load_snapshot, save_snapshot
+
+
+@pytest.fixture
+def undirected():
+    return UndirectedGraph.from_edges(
+        6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5)]
+    )
+
+
+@pytest.fixture
+def directed():
+    return DirectedGraph.from_edges(
+        5, [(0, 1), (1, 2), (2, 0), (3, 1), (1, 3), (0, 4)]
+    )
+
+
+class TestRoundTrip:
+    def test_undirected(self, undirected, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(undirected, path)
+        loaded = load_npz(path)
+        assert isinstance(loaded, UndirectedGraph)
+        assert np.array_equal(loaded.indptr, undirected.indptr)
+        assert np.array_equal(loaded.indices, undirected.indices)
+
+    def test_directed(self, directed, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(directed, path)
+        loaded = load_npz(path)
+        assert isinstance(loaded, DirectedGraph)
+        assert loaded.num_vertices == directed.num_vertices
+        assert np.array_equal(loaded.edges(), directed.edges())
+        assert np.array_equal(loaded.out_indptr, directed.out_indptr)
+        assert np.array_equal(loaded.in_indptr, directed.in_indptr)
+
+    def test_empty_graph(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        save_npz(UndirectedGraph.empty(7), path)
+        loaded = load_npz(path)
+        assert loaded.num_vertices == 7
+        assert loaded.num_edges == 0
+
+    def test_int32_narrowed_dtype_preserved(self, undirected, tmp_path):
+        assert undirected.indptr.dtype == np.dtype(np.int32)
+        path = tmp_path / "graph.npz"
+        save_npz(undirected, path)
+        loaded = load_npz(path)
+        assert loaded.indptr.dtype == np.dtype(np.int32)
+        assert loaded.indices.dtype == np.dtype(np.int32)
+
+    def test_legacy_edge_list_layout(self, undirected, tmp_path):
+        path = tmp_path / "legacy.npz"
+        np.savez(
+            path,
+            kind=np.array("undirected"),
+            num_vertices=np.array(undirected.num_vertices, dtype=np.int64),
+            edges=undirected.edges().astype(np.int64),
+        )
+        loaded = load_npz(path)
+        assert np.array_equal(loaded.indptr, undirected.indptr)
+        assert np.array_equal(loaded.indices, undirected.indices)
+
+
+class TestFingerprint:
+    def test_round_trip_adopts_stored_fingerprint(self, undirected, tmp_path):
+        path = tmp_path / "graph.npz"
+        stored = save_snapshot(undirected, path)
+        loaded = load_snapshot(path)
+        # Adopted without re-hashing: the private slot is already set.
+        assert loaded._fingerprint == stored
+        assert loaded.fingerprint() == undirected.fingerprint()
+
+    def test_forced_int64_load_does_not_adopt(self, undirected, tmp_path):
+        path = tmp_path / "graph.npz"
+        stored = save_snapshot(undirected, path)
+        with forced_int64():
+            loaded = load_snapshot(path)
+        # Construction re-widened the arrays, so the stored hash no
+        # longer describes this object; a fresh hash must differ (dtype
+        # participates in the fingerprint).
+        assert loaded._fingerprint is None
+        assert loaded.indptr.dtype == np.dtype(np.int64)
+        assert loaded.fingerprint() != stored
+
+
+class TestMmap:
+    @staticmethod
+    def _is_mmap_backed(array):
+        import mmap
+
+        base = array
+        while isinstance(base, np.ndarray) and base.base is not None:
+            base = base.base
+        return isinstance(base, (np.memmap, mmap.mmap))
+
+    def test_default_load_is_mmap_backed(self, undirected, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(undirected, path)
+        loaded = load_npz(path, mmap=True)
+        assert self._is_mmap_backed(loaded.indices)
+        assert np.array_equal(loaded.indices, undirected.indices)
+
+    def test_mmap_false_loads_plain_arrays(self, undirected, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(undirected, path)
+        loaded = load_npz(path, mmap=False)
+        assert not self._is_mmap_backed(loaded.indices)
+        assert np.array_equal(loaded.indices, undirected.indices)
+
+
+class TestMalformed:
+    def test_not_a_zip(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_text("this is not a snapshot\n", encoding="utf-8")
+        with pytest.raises(GraphFormatError):
+            load_npz(path)
+
+    def test_truncated_file(self, undirected, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_npz(undirected, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(GraphFormatError):
+            load_npz(path)
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, kind=np.array("undirected"))
+        with pytest.raises(GraphFormatError, match="missing field"):
+            load_npz(path)
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "weird.npz"
+        np.savez(
+            path,
+            kind=np.array("hyper"),
+            num_vertices=np.array(3, dtype=np.int64),
+            edges=np.zeros((0, 2), dtype=np.int64),
+        )
+        with pytest.raises(GraphFormatError, match="unknown graph kind"):
+            load_npz(path)
+
+    def test_inconsistent_arrays(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            kind=np.array("undirected"),
+            format_version=np.array(1, dtype=np.int64),
+            num_vertices=np.array(2, dtype=np.int64),
+            fingerprint=np.array("deadbeef"),
+            indptr=np.array([0, 1, 3], dtype=np.int64),
+            indices=np.array([1], dtype=np.int64),  # indptr[-1] != size
+        )
+        with pytest.raises(GraphFormatError, match="inconsistent snapshot"):
+            load_npz(path)
+
+    def test_snapshot_rejects_non_graph(self, tmp_path):
+        from repro.errors import GraphError
+
+        with pytest.raises(GraphError):
+            save_snapshot(object(), tmp_path / "nope.npz")
