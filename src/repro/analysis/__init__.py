@@ -1,24 +1,33 @@
-"""Static analysis for the reproduction: determinism lint + race sanitizer.
+"""Static analysis for the reproduction: lint, contracts, race sanitizer.
 
-Two complementary checkers guard the invariants every solver in this
+Three complementary checkers guard the invariants every solver in this
 library leans on (deterministic simulated time, iteration-independent
-``parfor`` bodies):
+``parfor`` bodies, honest cost charging, frozen shared buffers):
 
 * :mod:`repro.analysis.engine` — an AST lint engine with project-specific
-  rules (R001–R005, see :mod:`repro.analysis.rules`), exposed on the
-  command line as ``repro-lint`` and run over ``src/repro`` inside the
-  tier-1 test suite (``tests/analysis/test_self_lint.py``);
+  rules (single-node pattern rules in :mod:`repro.analysis.rules`, the
+  advertised id range comes from
+  :func:`repro.analysis.rules.rule_range` so it cannot go stale),
+  exposed on the command line as ``repro-lint`` and run over
+  ``src/repro`` inside the tier-1 test suite
+  (``tests/analysis/test_self_lint.py``);
+* :mod:`repro.analysis.contracts` — dataflow contract rules (R007–R012)
+  built on :mod:`repro.analysis.dataflow` (per-function CFGs,
+  reaching-tag taint, an interprocedural project index) that prove
+  solver capability declarations, cost charging, and cache clone-safety
+  at analysis time;
 * :mod:`repro.analysis.race` — a dynamic parfor race sanitizer enabled via
   ``SimRuntime(sanitize=True)``, which records per-iteration read/write
   footprints of shared arrays and reports write-write / read-write
   conflicts between iterations of a declared parallel loop.
 
-See ``docs/static_analysis.md`` for the full rule catalogue and the
-sanitizer's execution model.
+See ``docs/static_analysis.md`` for the full rule catalogue, the
+CFG/dataflow architecture, and the baseline (ratchet) workflow.
 """
 
 from __future__ import annotations
 
+from .baseline import load_baseline, match_baseline, write_baseline
 from .engine import Finding, LintEngine, Rule, lint_paths, lint_source
 from .race import (
     Conflict,
@@ -28,6 +37,7 @@ from .race import (
     declare_order_dependent,
     is_order_dependent,
 )
+from .rules import rule_range
 
 __all__ = [
     "Finding",
@@ -35,6 +45,10 @@ __all__ = [
     "Rule",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "match_baseline",
+    "rule_range",
+    "write_baseline",
     "Conflict",
     "LoopRaceReport",
     "RaceSanitizer",

@@ -1,0 +1,101 @@
+"""Baseline (ratchet) support for ``repro-lint``.
+
+A committed baseline file lets a new rule family land without blocking
+on every pre-existing finding: CI gates only on *regressions* (findings
+not in the baseline), while stale baseline entries — fixed findings —
+are reported so the file ratchets down over time.
+
+The file is plain JSON and round-trips through the same schema as
+``repro-lint --format json`` (each record is
+:meth:`repro.analysis.engine.Finding.as_dict`)::
+
+    {"version": 1, "findings": [{"rule": "R008", "path": "...", ...}]}
+
+Matching is by ``(rule, path, message)`` multiset — line and column are
+deliberately excluded so unrelated edits that shift a suppressed finding
+do not break the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .engine import Finding
+
+__all__ = ["BaselineError", "load_baseline", "match_baseline", "write_baseline"]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is malformed."""
+
+
+def _key(record: dict) -> tuple[str, str, str]:
+    return (
+        str(record.get("rule", "")),
+        str(record.get("path", "")).replace("\\", "/"),
+        str(record.get("message", "")),
+    )
+
+
+def load_baseline(path: str | Path) -> list[dict]:
+    """Load and validate a baseline file; return its finding records."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as error:
+        raise BaselineError(f"cannot read baseline {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise BaselineError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'findings' list"
+        )
+    findings = payload["findings"]
+    if not isinstance(findings, list) or not all(
+        isinstance(record, dict) for record in findings
+    ):
+        raise BaselineError(f"baseline {path}: 'findings' must be a list of objects")
+    return findings
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as a baseline file (sorted, stable schema)."""
+    records = [f.as_dict() for f in findings]
+    records.sort(key=lambda r: (r["path"], r["line"], r["col"], r["rule"]))
+    payload = {"version": _VERSION, "findings": records}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def match_baseline(
+    findings: list[Finding], baseline_records: list[dict]
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """Partition findings against a baseline.
+
+    Returns ``(new, baselined, stale)``: findings not covered by the
+    baseline (these gate), findings the baseline suppresses, and
+    baseline records that no longer correspond to any finding (safe to
+    drop — rerun with ``--write-baseline`` to ratchet).
+    """
+    budget = Counter(_key(record) for record in baseline_records)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = _key(finding.as_dict())
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale: list[dict] = []
+    leftovers = Counter(budget)
+    for record in baseline_records:
+        key = _key(record)
+        if leftovers.get(key, 0) > 0:
+            leftovers[key] -= 1
+            stale.append(record)
+    return new, baselined, stale

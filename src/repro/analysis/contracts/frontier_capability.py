@@ -1,0 +1,69 @@
+"""R009: ``supports_frontier=True`` must be backed by frontier plumbing.
+
+The engine forwards ``ctx.frontier`` only to solvers that declared
+``supports_frontier`` — if the implementation then ignores the argument
+(or never accepts it), ``--no-frontier`` silently does nothing and every
+frontier-vs-full-sweep comparison in the bench suite measures the same
+code twice.  That is capability drift: the declaration and the
+implementation disagree.
+
+A solver *consumes* the frontier capability when it accepts a
+``frontier`` parameter and either tests it, calls into
+:mod:`repro.kernels.frontier` (resolved through import origins), or
+forwards the parameter to a helper that consumes it — the fixed-point
+closure computed by the
+:class:`~repro.analysis.dataflow.index.ProjectIndex`.  This accepts the
+``pwc`` pattern, where the frontier strategy lives in a core helper
+rather than a direct kernel call.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..dataflow.index import ProjectIndex
+from ..engine import Rule
+
+__all__ = ["FrontierCapabilityRule"]
+
+
+class FrontierCapabilityRule(Rule):
+    """Flag declared-but-unimplemented frontier capability."""
+
+    rule_id = "R009"
+    title = "supports_frontier declared but the frontier is never used"
+    severity = "error"
+    fix_hint = (
+        "wire the frontier parameter into repro.kernels.frontier (or a "
+        "helper that consumes it), or drop supports_frontier=True from "
+        "@register_solver"
+    )
+    requires_project = True
+
+    def run(self, tree: ast.Module) -> list:
+        """Check every ``supports_frontier=True`` registration here."""
+        project: ProjectIndex | None = self.context.project
+        if project is None:
+            return self.findings
+        module = project.module(self.context.path)
+        if module is None:
+            return self.findings
+        for reg in module.solvers:
+            if not reg.declared.get("supports_frontier"):
+                continue
+            fn = reg.function
+            if not fn.has_frontier_param:
+                self.report(
+                    fn.node,
+                    f"solver `{reg.name}` declares supports_frontier=True "
+                    "but accepts no `frontier` parameter — the engine has "
+                    "nothing to forward ctx.frontier into",
+                )
+            elif not project.consumes_frontier(fn):
+                self.report(
+                    fn.node,
+                    f"solver `{reg.name}` accepts a `frontier` parameter "
+                    "but never tests or forwards it — capability drift: "
+                    "--no-frontier silently selects the same code path",
+                )
+        return self.findings

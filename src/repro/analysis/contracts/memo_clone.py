@@ -1,0 +1,169 @@
+"""R011: memoized results are clone-on-get / clone-on-put, everywhere.
+
+``repro.store.memo.ResultCache`` guarantees aliasing safety by cloning
+on both sides of the cache boundary; the engine then freely stamps
+``cache_hit`` onto what it got back.  Two ways consumers can break that
+guarantee, both invisible to the runtime tests until a mutation lands:
+
+* reaching around the API: touching another object's ``_entries``
+  OrderedDict hands out the *stored* result object, so any mutation
+  corrupts every future cache hit.  Flagged outside
+  ``store/memo.py`` whenever the attribute base is not ``self``.
+* cache classes that skip the clone helper: a ``*Cache.get`` that
+  returns a raw stored entry, or a ``*Cache.put``/``__setitem__`` that
+  stores a caller's object without ``clone_result`` (or another
+  copying call), aliases cache memory with live solver state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["MemoCloneRule"]
+
+_MEMO_MODULE_SUFFIX = "store/memo.py"
+_STORE_ATTR = "_entries"
+_GET_METHODS = frozenset({"get", "__getitem__"})
+_PUT_METHODS = frozenset({"put", "__setitem__"})
+
+
+def _is_entries_access(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Attribute) and expr.attr == _STORE_ATTR
+
+
+def _raw_entry_expr(expr: ast.expr, raw_names: set[str]) -> bool:
+    """Is ``expr`` (syntactically) a raw stored entry?"""
+    if isinstance(expr, ast.Name):
+        return expr.id in raw_names
+    if isinstance(expr, ast.Subscript):
+        return _is_entries_access(expr.value)
+    if isinstance(expr, ast.Call):
+        # self._entries.get(key) / .pop(key) / .popitem() return entries raw
+        return isinstance(expr.func, ast.Attribute) and _is_entries_access(
+            expr.func.value
+        )
+    if isinstance(expr, ast.IfExp):
+        return _raw_entry_expr(expr.body, raw_names) or _raw_entry_expr(
+            expr.orelse, raw_names
+        )
+    if isinstance(expr, ast.BoolOp):
+        return any(_raw_entry_expr(v, raw_names) for v in expr.values)
+    return False
+
+
+class MemoCloneRule(Rule):
+    """Flag raw-entry aliasing around the result-cache clone boundary."""
+
+    rule_id = "R011"
+    title = "memoized result aliased without clone_result"
+    severity = "error"
+    fix_hint = (
+        "go through the cache API and wrap both directions with "
+        "repro.store.memo.clone_result so cached results never alias "
+        "live solver state"
+    )
+
+    def run(self, tree: ast.Module) -> list:
+        """Scan external ``_entries`` pokes and *Cache clone discipline."""
+        in_memo = self.context.posix_path.endswith(_MEMO_MODULE_SUFFIX)
+        if not in_memo:
+            for node in ast.walk(tree):
+                if (
+                    _is_entries_access(node)
+                    and not (
+                        isinstance(node.value, ast.Name)
+                        and node.value.id == "self"
+                    )
+                ):
+                    self.report(
+                        node,
+                        "raw access to a result cache's `_entries` store "
+                        "bypasses the clone-on-get/clone-on-put guarantee",
+                    )
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name.endswith("Cache"):
+                self._check_cache_class(node)
+        return self.findings
+
+    def _check_cache_class(self, cls: ast.ClassDef) -> None:
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in _GET_METHODS:
+                self._check_get(item)
+            elif item.name in _PUT_METHODS:
+                self._check_put(item)
+
+    @staticmethod
+    def _raw_names(method: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        """Local names bound to a raw stored entry inside ``method``."""
+        raw: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for node in ast.walk(method):
+                if isinstance(node, ast.Assign) and _raw_entry_expr(
+                    node.value, raw
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) and target.id not in raw:
+                            raw.add(target.id)
+                            changed = True
+        return raw
+
+    def _check_get(self, method: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        raw = self._raw_names(method)
+        for node in ast.walk(method):
+            if (
+                isinstance(node, ast.Return)
+                and node.value is not None
+                and _raw_entry_expr(node.value, raw)
+            ):
+                self.report(
+                    node,
+                    f"`{method.name}` returns the stored entry itself — a "
+                    "caller mutation corrupts every future cache hit; wrap "
+                    "it with clone_result",
+                )
+
+    def _check_put(self, method: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        params = {
+            arg.arg
+            for arg in [
+                *method.args.posonlyargs,
+                *method.args.args,
+                *method.args.kwonlyargs,
+            ]
+            if arg.arg != "self"
+        }
+        rebound = {
+            target.id
+            for node in ast.walk(method)
+            if isinstance(node, ast.Assign)
+            for target in node.targets
+            if isinstance(target, ast.Name)
+        }
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Assign):
+                continue
+            stored_into_entries = any(
+                isinstance(target, ast.Subscript)
+                and _is_entries_access(target.value)
+                for target in node.targets
+            )
+            if not stored_into_entries:
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in params
+                and value.id not in rebound
+            ):
+                self.report(
+                    node,
+                    f"`{method.name}` stores the caller's `{value.id}` "
+                    "object without clone_result — the cache now aliases "
+                    "live solver state",
+                )

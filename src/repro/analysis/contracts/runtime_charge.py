@@ -1,0 +1,123 @@
+"""R007: ``supports_runtime=True`` solvers must charge on every path.
+
+The engine's runner enforces the cost-model contract dynamically: after
+a ``supports_runtime`` solver returns, ``metrics.parallel_loops`` or
+``metrics.breakdown.serial`` must have advanced, else ``EngineError``.
+That check only fires on the inputs a test happens to run — PR 3's audit
+found exactly this bug class in ``binary-search``.  R007 is the static
+twin: it searches the solver's CFG for a path from entry to a ``return``
+that never charges the runtime.
+
+Modelling choices (all biased against false positives):
+
+* a *charge event* is ``<rt>.parfor/par_tasks/charge_serial(...)`` on a
+  runtime-holding name, or a call forwarding such a name to a callee the
+  :class:`~repro.analysis.dataflow.index.ProjectIndex` cannot prove
+  non-charging;
+* the engine always passes a runtime to a ``supports_runtime`` solver,
+  so edges guarded by ``runtime is None`` (or falsy ``runtime``) are
+  unreachable and excluded from the search;
+* graph-sized loops are assumed to run at least once (an empty graph
+  raises ``EmptyGraphError`` before any solver loop), so zero-trip loop
+  exits are excluded — charging inside the main peeling loop satisfies
+  the contract;
+* paths ending in ``raise`` never reach the engine's post-run check and
+  are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..dataflow.cfg import CFG, build_cfg
+from ..dataflow.index import ProjectIndex, SolverRegistration
+from ..engine import Rule
+
+__all__ = ["RuntimeChargeRule"]
+
+
+class RuntimeChargeRule(Rule):
+    """Flag uncharged reachable returns in ``supports_runtime`` solvers."""
+
+    rule_id = "R007"
+    title = "supports_runtime solver with an uncharged return path"
+    severity = "error"
+    fix_hint = (
+        "charge the path with rt.parfor(...)/rt.par_tasks(...)/"
+        "rt.charge_serial(...) (or a helper that does), or drop "
+        "supports_runtime=True from @register_solver"
+    )
+    requires_project = True
+
+    def run(self, tree: ast.Module) -> list:
+        """Check every ``@register_solver(supports_runtime=True)`` here."""
+        project: ProjectIndex | None = self.context.project
+        if project is None:
+            return self.findings
+        module = project.module(self.context.path)
+        if module is None:
+            return self.findings
+        for registration in module.solvers:
+            if registration.declared.get("supports_runtime"):
+                self._check(project, registration)
+        return self.findings
+
+    def _check(self, project: ProjectIndex, reg: SolverRegistration) -> None:
+        fn = reg.function
+        runtime_names = fn.runtime_names
+        if not runtime_names:
+            self.report(
+                fn.node,
+                f"solver `{reg.name}` declares supports_runtime=True but "
+                "takes no runtime parameter, so it can never charge the "
+                "SimRuntime the engine passes",
+            )
+            return
+        cfg = build_cfg(fn.node)
+        blocked = frozenset(
+            node.index
+            for node in cfg.nodes
+            if node.scan_exprs
+            and any(
+                project.expr_charges(expr, runtime_names)
+                for expr in node.scan_exprs
+            )
+        )
+        forbidden = frozenset(
+            (kind, name)
+            for name in fn.optional_runtime
+            for kind in ("is_none", "falsy")
+        )
+        reachable = cfg.reachable(
+            cfg.entry.index,
+            blocked_nodes=blocked,
+            forbidden_guards=forbidden,
+            allow_zero_trip=False,
+        )
+        if cfg.exit.index not in reachable:
+            return
+        seen_lines: set[int] = set()
+        for edge in cfg.predecessors(cfg.exit.index):
+            if edge.guard is not None and edge.guard in forbidden:
+                continue
+            if edge.zero_trip:
+                continue
+            src = edge.src
+            if src not in reachable or src in blocked:
+                continue
+            node = cfg.nodes[src]
+            if node.stmt is None or node.lineno in seen_lines:
+                continue
+            seen_lines.add(node.lineno)
+            where = (
+                "this return"
+                if isinstance(node.stmt, ast.Return)
+                else "the implicit return after this statement"
+            )
+            self.report(
+                node.stmt,
+                f"solver `{reg.name}` declares supports_runtime=True but "
+                f"{where} is reachable without any runtime charge "
+                "(no parfor/par_tasks/charge_serial on the path) — the "
+                "engine would raise EngineError at run time",
+            )

@@ -1,0 +1,251 @@
+"""R010: frozen scratch/CSR buffers must not *escape* into mutation.
+
+R005 catches direct writes — ``graph.degrees()[0] = 1`` — but an alias
+laundered through a local defeats it::
+
+    deg = graph.degrees()      # shared, read-only scratch
+    np.subtract.at(deg, hits, 1)   # mutates every future caller's view
+
+R010 closes that hole with the flow-sensitive tag analysis from
+:mod:`repro.analysis.dataflow.reaching`: locals bound to a scratch
+accessor (``degrees()/heads()/hindex_bins()/out_degrees()/in_degrees()``)
+or a frozen CSR attribute (``indptr``/``indices``) carry a ``scratch``
+taint; basic slices and ``astype(copy=False)`` keep it, ``.copy()`` and
+value-producing calls kill it.  A tainted *name* flowing into a mutating
+method, an ``out=`` argument, a ufunc ``.at()`` call, or an element
+write is an escape.
+
+Direct accessor-call mutations stay R005's findings — this rule only
+fires through aliases (plus ``out=``/``.at()`` sinks, which R005 never
+checked), so the two rules never double-report one line.  The graph
+construction modules own these buffers and are exempt, same as R005.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..dataflow.cfg import build_cfg
+from ..dataflow.reaching import TagEnv, analyze_tags
+from ..engine import Rule
+
+__all__ = ["ScratchEscapeRule"]
+
+_SCRATCH = "scratch"
+_SCRATCH_ACCESSORS = frozenset(
+    {"degrees", "heads", "hindex_bins", "out_degrees", "in_degrees"}
+)
+_FROZEN_ATTRS = frozenset({"indptr", "indices"})
+_ALIASING_METHODS = frozenset({"view", "reshape", "ravel"})
+_MUTATING_METHODS = frozenset(
+    {"fill", "sort", "partition", "put", "resize", "itemset", "setfield",
+     "setflags", "byteswap"}
+)
+_MUTATING_FUNCTIONS = frozenset({"copyto", "put", "place", "putmask"})
+#: Same owner exemptions as R005: these modules build and own the buffers.
+_EXEMPT_SUFFIXES = (
+    "graph/builder.py",
+    "graph/undirected.py",
+    "graph/directed.py",
+)
+
+
+def _classify(expr: ast.expr, env: TagEnv) -> frozenset[str]:
+    """Scratch-taint classifier for the reaching-tags analysis."""
+    empty: frozenset[str] = frozenset()
+    tainted: frozenset[str] = frozenset({_SCRATCH})
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id, empty)
+    if isinstance(expr, ast.Attribute):
+        return tainted if expr.attr in _FROZEN_ATTRS else empty
+    if isinstance(expr, ast.Call):
+        callee = expr.func
+        if isinstance(callee, ast.Attribute):
+            if (
+                callee.attr in _SCRATCH_ACCESSORS
+                and not expr.args
+                and not expr.keywords
+            ):
+                return tainted
+            base = _classify(callee.value, env)
+            if _SCRATCH in base:
+                if callee.attr in _ALIASING_METHODS:
+                    return tainted
+                if callee.attr == "astype":
+                    for kw in expr.keywords:
+                        if (
+                            kw.arg == "copy"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is False
+                        ):
+                            return tainted
+                    return empty
+                return empty  # .copy(), reductions, etc. produce fresh data
+        if (
+            isinstance(callee, ast.Attribute)
+            and callee.attr == "asarray"
+            or isinstance(callee, ast.Name)
+            and callee.id == "asarray"
+        ) and expr.args:
+            return _classify(expr.args[0], env)  # asarray may alias
+        return empty
+    if isinstance(expr, ast.Subscript):
+        base = _classify(expr.value, env)
+        if _SCRATCH in base and isinstance(expr.slice, ast.Slice):
+            return tainted  # basic slicing returns a view
+        return empty
+    if isinstance(expr, ast.IfExp):
+        return _classify(expr.body, env) | _classify(expr.orelse, env)
+    if isinstance(expr, ast.BoolOp):
+        tags: frozenset[str] = frozenset()
+        for value in expr.values:
+            tags |= _classify(value, env)
+        return tags
+    if isinstance(expr, ast.NamedExpr):
+        return _classify(expr.value, env)
+    return empty
+
+
+def _tainted_name(expr: ast.expr, env: TagEnv) -> str | None:
+    """The name if ``expr`` is a tainted Name (or a subscript of one)."""
+    if isinstance(expr, ast.Subscript):
+        expr = expr.value
+    if isinstance(expr, ast.Name) and _SCRATCH in env.get(expr.id, frozenset()):
+        return expr.id
+    return None
+
+
+def _walk_shallow(root: ast.AST):
+    """``ast.walk`` that does not descend into nested function/class defs."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            stack.append(child)
+
+
+class ScratchEscapeRule(Rule):
+    """Flag aliased scratch buffers escaping into mutating sinks."""
+
+    rule_id = "R010"
+    title = "frozen scratch buffer escapes into a mutating call"
+    severity = "error"
+    fix_hint = (
+        "take a private copy first (arr = graph.degrees().copy()) before "
+        "mutating, or write into a buffer you allocated"
+    )
+
+    def run(self, tree: ast.Module) -> list:
+        """Analyze every function definition in the module."""
+        if self.context.posix_path.endswith(_EXEMPT_SUFFIXES):
+            return self.findings
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_function(node)
+        return self.findings
+
+    def _check_function(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        cfg = build_cfg(func)
+        envs = analyze_tags(cfg, _classify)
+        for node in cfg.nodes:
+            if not node.scan_exprs:
+                continue
+            env = envs.get(node.index)
+            if not env or not any(_SCRATCH in tags for tags in env.values()):
+                continue
+            for expr in node.scan_exprs:
+                self._scan(expr, env)
+
+    def _scan(self, root: ast.AST, env: TagEnv) -> None:
+        for node in _walk_shallow(root):
+            if isinstance(node, ast.Call):
+                self._scan_call(node, env)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript):
+                        name = _tainted_name(target, env)
+                        if name is not None:
+                            self.report(
+                                target,
+                                f"element write into `{name}`, an alias of a "
+                                "frozen scratch/CSR buffer",
+                            )
+            elif isinstance(node, ast.AugAssign):
+                name = _tainted_name(node.target, env)
+                if name is not None:
+                    self.report(
+                        node,
+                        f"in-place arithmetic on `{name}`, an alias of a "
+                        "frozen scratch/CSR buffer",
+                    )
+
+    def _scan_call(self, call: ast.Call, env: TagEnv) -> None:
+        callee = call.func
+        # alias.sort() / alias.fill(0) ... — mutating method on a tainted name
+        if isinstance(callee, ast.Attribute) and callee.attr in _MUTATING_METHODS:
+            if isinstance(callee.value, ast.Name):
+                name = _tainted_name(callee.value, env)
+                if name is not None:
+                    self.report(
+                        call,
+                        f"mutating `.{callee.attr}()` on `{name}`, an alias "
+                        "of a frozen scratch/CSR buffer",
+                    )
+        # np.add.at(alias, ...) — ufunc scatter into a tainted name
+        if (
+            isinstance(callee, ast.Attribute)
+            and callee.attr == "at"
+            and call.args
+        ):
+            name = _tainted_name(call.args[0], env)
+            if name is not None:
+                self.report(
+                    call,
+                    f"ufunc `.at()` scatter into `{name}`, an alias of a "
+                    "frozen scratch/CSR buffer",
+                )
+        # np.copyto(alias, ...) / np.put(alias, ...) / np.place / putmask
+        callee_name = (
+            callee.attr
+            if isinstance(callee, ast.Attribute)
+            else callee.id if isinstance(callee, ast.Name) else None
+        )
+        if callee_name in _MUTATING_FUNCTIONS and call.args:
+            name = _tainted_name(call.args[0], env)
+            if name is not None:
+                self.report(
+                    call,
+                    f"`{callee_name}()` writes into `{name}`, an alias of a "
+                    "frozen scratch/CSR buffer",
+                )
+        # f(..., out=alias) — any call writing into a tainted name
+        for kw in call.keywords:
+            if kw.arg != "out":
+                continue
+            out_exprs = (
+                list(kw.value.elts)
+                if isinstance(kw.value, ast.Tuple)
+                else [kw.value]
+            )
+            for out_expr in out_exprs:
+                name = _tainted_name(out_expr, env)
+                if name is not None:
+                    self.report(
+                        call,
+                        f"`out={name}` targets an alias of a frozen "
+                        "scratch/CSR buffer",
+                    )
+                elif _SCRATCH in _classify(out_expr, env):
+                    self.report(
+                        call,
+                        "`out=` targets a frozen scratch/CSR buffer "
+                        "accessor directly",
+                    )

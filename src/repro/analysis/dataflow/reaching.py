@@ -1,0 +1,142 @@
+"""Reaching-definition tag analysis over a :mod:`~repro.analysis.dataflow.cfg` CFG.
+
+The contract rules do not need full reaching definitions — they need to
+know, at each program point, *which abstract origins* a local name may
+hold: "came from a frozen scratch accessor", "is the optional runtime
+parameter", "is graph-sized".  :func:`analyze_tags` runs a forward
+may-analysis over the statement-level CFG: the environment maps names to
+sets of tag strings, joins are set unions, and a pluggable *classifier*
+decides the tags of every right-hand side.
+
+Flow sensitivity matters for precision: after ::
+
+    deg = graph.degrees()      # deg: {scratch}
+    deg = deg.copy()           # deg: {}  (the copy killed the taint)
+    deg.sort()                 # clean — a flow-insensitive union would
+                               # still see {scratch} here and misfire
+
+Uses inside a statement observe the environment *entering* that
+statement, so ``x = x.copy()`` classifies the right-hand ``x`` with its
+old tags before the assignment rebinds it.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable
+
+from .cfg import CFG
+
+__all__ = ["TagEnv", "analyze_tags", "env_at"]
+
+#: Environment at one program point: name -> set of origin tags.
+TagEnv = dict[str, frozenset[str]]
+
+#: ``classifier(expr, env) -> tags`` decides which origin tags an
+#: expression produces.  It receives the environment entering the
+#: statement so it can propagate tags through local names.
+Classifier = Callable[[ast.expr, TagEnv], frozenset[str]]
+
+_EMPTY: frozenset[str] = frozenset()
+
+
+def _join(into: TagEnv, other: TagEnv) -> bool:
+    """Union ``other`` into ``into``; return True if anything changed."""
+    changed = False
+    for name, tags in other.items():
+        merged = into.get(name, _EMPTY) | tags
+        if merged != into.get(name, _EMPTY):
+            into[name] = merged
+            changed = True
+    return changed
+
+
+def _bind_target(target: ast.expr, tags: frozenset[str], env: TagEnv) -> None:
+    """Rebind an assignment target in ``env``.
+
+    Name targets take the new tags; tuple/list targets conservatively
+    clear every element name (destructuring loses the origin).  Writes
+    through attributes or subscripts do not rebind any local name.
+    """
+    if isinstance(target, ast.Name):
+        if tags:
+            env[target.id] = tags
+        else:
+            env.pop(target.id, None)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind_target(element, _EMPTY, env)
+    elif isinstance(target, ast.Starred):
+        _bind_target(target.value, _EMPTY, env)
+
+
+def _transfer(stmt: ast.stmt, env: TagEnv, classify: Classifier) -> TagEnv:
+    """Apply one statement's bindings to a copy of ``env``."""
+    out = dict(env)
+    if isinstance(stmt, ast.Assign):
+        tags = classify(stmt.value, env)
+        for target in stmt.targets:
+            _bind_target(target, tags, out)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        _bind_target(stmt.target, classify(stmt.value, env), out)
+    elif isinstance(stmt, ast.AugAssign):
+        # ``x += y`` mutates in place: x keeps its tags.
+        pass
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        # Iteration elements: classify the iterable, but element origin
+        # is weaker than the container's — drop tags unless the
+        # classifier explicitly propagates through iteration via the
+        # dedicated "iter:" pseudo-expression convention.
+        _bind_target(stmt.target, _EMPTY, out)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                _bind_target(
+                    item.optional_vars, classify(item.context_expr, env), out
+                )
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                out.pop(target.id, None)
+    # Walrus assignments anywhere in the statement's expressions.
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            out[node.target.id] = classify(node.value, env)
+    return out
+
+
+def analyze_tags(
+    cfg: CFG,
+    classify: Classifier,
+    initial: TagEnv | None = None,
+) -> dict[int, TagEnv]:
+    """Fixed-point tag environments for every CFG node.
+
+    Returns ``{node_index: env}`` where ``env`` is the environment
+    *entering* the node (uses inside the node's statement see it before
+    the node's own bindings apply).  ``initial`` seeds the entry node —
+    typically the function parameters' tags.
+    """
+    envs: dict[int, TagEnv] = {cfg.entry.index: dict(initial or {})}
+    worklist = [cfg.entry.index]
+    while worklist:
+        index = worklist.pop()
+        node = cfg.nodes[index]
+        env_in = envs.get(index, {})
+        if node.stmt is not None and node.kind == "stmt":
+            env_out = _transfer(node.stmt, env_in, classify)
+        elif node.stmt is not None and node.kind == "loop":
+            env_out = _transfer(node.stmt, env_in, classify)
+        else:
+            env_out = env_in
+        for edge in cfg.successors(index):
+            first_visit = edge.dst not in envs
+            dst_env = envs.setdefault(edge.dst, {})
+            if _join(dst_env, env_out) or first_visit:
+                worklist.append(edge.dst)
+    return envs
+
+
+def env_at(envs: dict[int, TagEnv], index: int) -> TagEnv:
+    """The environment entering node ``index`` (empty if unreachable)."""
+    return envs.get(index, {})

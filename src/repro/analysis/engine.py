@@ -73,12 +73,20 @@ class Finding:
 
 
 class LintContext:
-    """Per-file state shared by every rule run over that file."""
+    """Per-file state shared by every rule run over that file.
 
-    def __init__(self, path: str, source: str):
+    ``project`` carries the whole-run
+    :class:`~repro.analysis.dataflow.index.ProjectIndex` when at least
+    one selected rule sets ``requires_project``; for single-source lints
+    the engine builds a one-file index so the contract rules degrade
+    gracefully (unknown callees are treated forgivingly).
+    """
+
+    def __init__(self, path: str, source: str, project=None):
         self.path = path
         self.source = source
         self.lines = source.splitlines()
+        self.project = project
 
     @property
     def posix_path(self) -> str:
@@ -99,6 +107,8 @@ class Rule(ast.NodeVisitor):
     title: str = ""
     severity: str = "error"
     fix_hint: str = ""
+    #: Set by dataflow rules that need ``context.project`` populated.
+    requires_project: bool = False
 
     def __init__(self, context: LintContext):
         self.context = context
@@ -178,7 +188,14 @@ class LintEngine:
             and rule.rule_id not in ignored
         ]
 
-    def lint_source(self, source: str, path: str = "<string>") -> list[Finding]:
+    @property
+    def needs_project(self) -> bool:
+        """True when any selected rule wants a project index."""
+        return any(rule.requires_project for rule in self.rules)
+
+    def lint_source(
+        self, source: str, path: str = "<string>", project=None
+    ) -> list[Finding]:
         """Lint one source string; a syntax error yields a single E000."""
         try:
             tree = ast.parse(source, filename=path)
@@ -193,7 +210,13 @@ class LintEngine:
                     message=f"syntax error: {error.msg}",
                 )
             ]
-        context = LintContext(path, source)
+        if project is None and self.needs_project:
+            from .dataflow.index import ProjectIndex
+
+            project = ProjectIndex.from_sources(
+                [(Path(path).as_posix(), tree)]
+            )
+        context = LintContext(path, source, project=project)
         findings: list[Finding] = []
         for rule_cls in self.rules:
             findings.extend(rule_cls(context).run(tree))
@@ -202,14 +225,14 @@ class LintEngine:
         findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
         return findings
 
-    def lint_file(self, path: str | Path) -> list[Finding]:
+    def lint_file(self, path: str | Path, project=None) -> list[Finding]:
         """Lint one file on disk."""
         text = Path(path).read_text(encoding="utf-8")
-        return self.lint_source(text, path=str(path))
+        return self.lint_source(text, path=str(path), project=project)
 
-    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
-        """Lint files and (recursively) directories of ``*.py`` files."""
-        findings: list[Finding] = []
+    @staticmethod
+    def _collect_files(paths: Iterable[str | Path]) -> list[Path]:
+        files: list[Path] = []
         for path in paths:
             path = Path(path)
             if path.is_dir():
@@ -217,9 +240,33 @@ class LintEngine:
                     if any(part in _SKIP_DIR_NAMES or part.endswith(".egg-info")
                            for part in file.parts):
                         continue
-                    findings.extend(self.lint_file(file))
+                    files.append(file)
             else:
-                findings.extend(self.lint_file(path))
+                files.append(path)
+        return files
+
+    def build_project(self, paths: Iterable[str | Path]):
+        """Build the interprocedural index for every file under ``paths``."""
+        from .dataflow.index import ProjectIndex
+
+        return ProjectIndex.from_paths(self._collect_files(paths))
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> list[Finding]:
+        """Lint files and (recursively) directories of ``*.py`` files.
+
+        When a selected rule needs interprocedural facts, every file is
+        parsed up front into one shared
+        :class:`~repro.analysis.dataflow.index.ProjectIndex` so the
+        contract rules see the whole program, not one file at a time.
+        Findings come back in one stable global order:
+        (path, line, col, rule id).
+        """
+        files = self._collect_files(paths)
+        project = self.build_project(files) if self.needs_project else None
+        findings: list[Finding] = []
+        for file in files:
+            findings.extend(self.lint_file(file, project=project))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
         return findings
 
 

@@ -1,13 +1,20 @@
-"""Project-specific lint rules (R001–R006).
+"""Project-specific lint rules: the registry behind ``repro-lint``.
 
 Each rule is a small :class:`~repro.analysis.engine.Rule` visitor with an
 id, severity, and fix hint; ``DEFAULT_RULES`` is the registry the engine
-and the ``repro-lint`` CLI load.  The catalogue, with rationale and
+and the ``repro-lint`` CLI load.  R001–R006 are single-node pattern
+rules living in this package; R007–R012 are the dataflow contract rules
+from :mod:`repro.analysis.contracts`.  The catalogue, with rationale and
 examples, is documented in ``docs/static_analysis.md``.
+
+The advertised id range is derived from the registry —
+:func:`rule_range` — so CLI help and module docs can never go stale
+against the actual rule set again.
 """
 
 from __future__ import annotations
 
+from ..contracts import CONTRACT_RULES
 from .csr_mutation import CsrMutationRule
 from .determinism import DeterminismRule
 from .docstrings import PublicDocstringRule
@@ -22,7 +29,19 @@ DEFAULT_RULES = (
     FloatDensityCompareRule,
     CsrMutationRule,
     SolverRegistryRule,
+    *CONTRACT_RULES,
 )
+
+
+def rule_range(rules=DEFAULT_RULES) -> str:
+    """The advertised id range of a rule registry, e.g. ``"R001-R012"``."""
+    ids = sorted(rule.rule_id for rule in rules)
+    if not ids:
+        return ""
+    if len(ids) == 1:
+        return ids[0]
+    return f"{ids[0]}-{ids[-1]}"
+
 
 __all__ = [
     "DEFAULT_RULES",
@@ -32,4 +51,5 @@ __all__ = [
     "FloatDensityCompareRule",
     "CsrMutationRule",
     "SolverRegistryRule",
+    "rule_range",
 ]

@@ -23,6 +23,7 @@ from ..errors import AlgorithmError, EngineError
 __all__ = [
     "SolverSpec",
     "register_solver",
+    "registry_manifest",
     "unregister_solver",
     "get_solver",
     "solver_names",
@@ -86,17 +87,28 @@ class SolverSpec:
             doc = (self.func.__doc__ or "").strip().splitlines()
             object.__setattr__(self, "summary", doc[0] if doc else self.name)
 
+    def capability_flags(self) -> dict[str, bool]:
+        """All capability names with their declared values.
+
+        The same key set (``runtime``/``frontier``/``sanitize``/``seed``/
+        ``cluster``) the static contract verifier emits in its
+        ``--contracts-manifest`` records, so declared-vs-inferred diffs
+        are a dict comparison.
+        """
+        return {
+            "runtime": self.supports_runtime,
+            "frontier": self.supports_frontier,
+            "sanitize": self.supports_sanitize,
+            "seed": self.supports_seed,
+            "cluster": self.supports_cluster,
+        }
+
     @property
     def capabilities(self) -> tuple[str, ...]:
         """The supported capability names, for tables and reports."""
-        flags = (
-            ("runtime", self.supports_runtime),
-            ("frontier", self.supports_frontier),
-            ("sanitize", self.supports_sanitize),
-            ("seed", self.supports_seed),
-            ("cluster", self.supports_cluster),
+        return tuple(
+            name for name, on in self.capability_flags().items() if on
         )
-        return tuple(name for name, on in flags if on)
 
 
 # The one solver store.  Keyed (kind, name); only register_solver /
@@ -239,3 +251,26 @@ def solver_specs(kind: str | None = None) -> Iterator[SolverSpec]:
     for key in sorted(_REGISTRY):
         if kind is None or key[0] == kind:
             yield _REGISTRY[key]
+
+
+def registry_manifest() -> list[dict]:
+    """Runtime capability manifest: one record per registered solver.
+
+    The dynamic counterpart of the static verifier's
+    ``--contracts-manifest``: same sort order (kind, name) and the same
+    ``capability_flags`` schema, so tests can assert the decorator
+    literals the dataflow pass extracted match what actually registered.
+    """
+    _ensure_discovered()
+    return [
+        {
+            "kind": spec.kind,
+            "name": spec.name,
+            "function": spec.func.__qualname__,
+            "module": spec.func.__module__,
+            "guarantee": spec.guarantee,
+            "cost": spec.cost,
+            "capabilities": spec.capability_flags(),
+        }
+        for spec in solver_specs()
+    ]

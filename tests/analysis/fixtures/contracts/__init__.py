@@ -1,0 +1,9 @@
+"""Planted-violation fixtures for the contract rules R007–R012.
+
+Never imported: ``tests/analysis/test_contracts.py`` lints each module
+with the matching rule selected.  Lines ending in a ``# plant`` marker
+are the expected finding anchors; lines carrying a
+``# repro-lint: disable=RxxX`` comment are planted violations that must
+stay suppressed.  The test derives expected line numbers by scanning for
+the markers, so the fixtures cannot silently drift out of sync.
+"""

@@ -1,0 +1,17 @@
+"""Fixture: file-level suppression silences R007 for the whole module."""
+
+# repro-lint: disable-file=R007
+
+from repro.engine.spec import register_solver
+
+
+@register_solver(
+    "silenced-solver",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_runtime=True,
+)
+def silenced_solver(graph, runtime=None):
+    """Would fire R007 on this return, but the file is opted out."""
+    return graph.num_edges

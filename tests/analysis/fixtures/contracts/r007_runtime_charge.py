@@ -1,0 +1,119 @@
+"""Fixture: R007 — supports_runtime solvers with uncharged return paths."""
+
+from repro.engine.spec import register_solver
+from repro.runtime.simruntime import SimRuntime
+
+
+@register_solver(
+    "skips-on-branch",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_runtime=True,
+)
+def skips_on_branch(graph, runtime=None):
+    """The small-graph branch returns without charging (the acceptance plant)."""
+    rt = runtime or SimRuntime(num_threads=1)
+    if graph.num_vertices > 2:
+        rt.parfor(graph.num_vertices, None, label="sweep")
+        return graph.num_vertices
+    return 0  # plant
+
+
+@register_solver(
+    "never-charges",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_runtime=True,
+)
+def never_charges(graph, runtime=None):
+    """No charge anywhere: every return is an uncharged path."""
+    return graph.num_edges  # plant
+
+
+@register_solver(
+    "no-runtime-param",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_runtime=True,
+)
+def no_runtime_param(graph):  # plant
+    """Declares the capability but cannot even receive a runtime."""
+    return 0
+
+
+@register_solver(
+    "charges-everywhere",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_runtime=True,
+)
+def charges_everywhere(graph, runtime=None):
+    """Clean: both branches charge before returning."""
+    rt = runtime or SimRuntime(num_threads=1)
+    if graph.num_vertices > 2:
+        rt.parfor(graph.num_vertices, None, label="sweep")
+        return graph.num_vertices
+    rt.charge_serial(1.0, label="tail")
+    return 0
+
+
+@register_solver(
+    "guarded-charge",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_runtime=True,
+)
+def guarded_charge(graph, runtime=None):
+    """Clean: the engine always passes a runtime, so the guard is taken."""
+    if runtime is not None:
+        runtime.charge_serial(1.0, label="peel")
+    return graph.num_edges
+
+
+@register_solver(
+    "loop-charge",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_runtime=True,
+)
+def loop_charge(graph, runtime=None):
+    """Clean: graph-sized loops are assumed to run at least once."""
+    rt = runtime or SimRuntime(num_threads=1)
+    remaining = graph.num_vertices
+    while remaining > 0:
+        rt.parfor(remaining, None, label="round")
+        remaining -= 1
+    return 0
+
+
+@register_solver(
+    "raises-instead",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_runtime=True,
+)
+def raises_instead(graph, runtime=None):
+    """Clean: the uncharged path raises, never reaching the engine check."""
+    if graph.num_edges == 0:
+        raise ValueError("empty graph")
+    runtime.charge_serial(1.0, label="peel")
+    return graph.num_edges
+
+
+@register_solver(
+    "suppressed-skip",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_runtime=True,
+)
+def suppressed_skip(graph, runtime=None):
+    """A planted uncharged return, silenced with an inline disable."""
+    return graph.num_edges  # repro-lint: disable=R007

@@ -1,0 +1,57 @@
+"""Fixture: R008 — graph-sized Python loops invisible to the cost model."""
+
+import numpy as np
+
+
+def uncharged_edge_walk(graph, runtime=None):
+    """Graph-sized loops with no charge anywhere in the function."""
+    total = 0
+    for u, v in graph.edges():  # plant
+        total += u + v
+    for i in range(graph.num_vertices):  # plant
+        total += i
+    n = graph.num_vertices
+    squares = [i * i for i in range(n)]  # plant
+    for j in graph.indices:  # plant
+        total += j
+    return total + len(squares)
+
+
+def bulk_charged_walk(graph, runtime=None):
+    """Clean: the bulk charge after the loop prices the whole pass."""
+    total = 0
+    for u, v in graph.edges():
+        total += u
+    runtime.charge_serial(1.0, label="peel")
+    return total
+
+
+def per_iteration_charged(graph, runtime=None):
+    """Clean: each round is metered inside the loop."""
+    for _ in range(graph.num_vertices):
+        runtime.parfor(graph.num_vertices, None, label="round")
+    return 0
+
+
+def serial_solver_loop(graph):
+    """Clean: no runtime in scope — the serial cost model applies."""
+    total = 0
+    for u, v in graph.edges():
+        total += u
+    return total
+
+
+def fixed_size_loop(graph, runtime=None):
+    """Clean: the loop bound is not graph-sized."""
+    best = 0.0
+    for _ in range(10):
+        best = max(best, np.float64(graph.num_edges))
+    return best
+
+
+def suppressed_walk(graph, runtime=None):
+    """A planted uncharged loop, silenced with an inline disable."""
+    acc = 0
+    for i in range(graph.num_edges):  # repro-lint: disable=R008
+        acc += i
+    return acc

@@ -1,0 +1,72 @@
+"""Fixture: R009 — supports_frontier declarations without frontier plumbing."""
+
+from repro.engine.spec import register_solver
+from repro.kernels.frontier import frontier_synchronous_sweep
+
+
+@register_solver(
+    "no-plumbing",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_frontier=True,
+)
+def no_plumbing(graph):  # plant
+    """Declares the capability but accepts no frontier parameter."""
+    return graph.num_edges
+
+
+@register_solver(
+    "ignores-frontier",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_frontier=True,
+)
+def ignores_frontier(graph, frontier=None):  # plant
+    """Accepts the parameter, then computes the same thing regardless."""
+    return graph.num_vertices
+
+
+@register_solver(
+    "tests-frontier",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_frontier=True,
+)
+def tests_frontier(graph, frontier=None):
+    """Clean: the frontier flag selects the sweep strategy."""
+    if frontier:
+        return frontier_synchronous_sweep(graph)
+    return graph.num_vertices
+
+
+@register_solver(
+    "forwards-frontier",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_frontier=True,
+)
+def forwards_frontier(graph, frontier=None):
+    """Clean: the frontier is forwarded to a helper that consumes it."""
+    return _frontier_core(graph, frontier)
+
+
+def _frontier_core(graph, frontier):
+    if frontier is None:
+        return graph.num_vertices
+    return frontier_synchronous_sweep(graph)
+
+
+@register_solver(
+    "suppressed-drift",
+    kind="uds",
+    guarantee="heuristic",
+    cost="parallel",
+    supports_frontier=True,
+)
+def suppressed_drift(graph, frontier=None):  # repro-lint: disable=R009
+    """A planted capability drift, silenced with an inline disable."""
+    return graph.num_edges

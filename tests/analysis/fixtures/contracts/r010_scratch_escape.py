@@ -1,0 +1,82 @@
+"""Fixture: R010 — aliased scratch/CSR buffers escaping into mutation."""
+
+import numpy as np
+
+
+def scatter_through_alias(graph, hits):
+    """The classic escape: launder the accessor through a local."""
+    deg = graph.degrees()
+    np.subtract.at(deg, hits, 1)  # plant
+    return deg
+
+
+def out_argument_escape(graph, cap):
+    """``out=`` writes into the shared buffer in place."""
+    deg = graph.degrees()
+    np.minimum(deg, cap, out=deg)  # plant
+    return deg
+
+
+def augmented_assignment_escape(graph):
+    """In-place arithmetic mutates the shared buffer."""
+    deg = graph.degrees()
+    deg -= 1  # plant
+    return deg
+
+
+def element_write_escape(graph):
+    """Element writes through a frozen-CSR alias."""
+    ptr = graph.indptr
+    ptr[0] = 0  # plant
+    return ptr
+
+
+def fill_method_escape(graph):
+    """Mutating method on an aliased scratch buffer."""
+    bins = graph.hindex_bins()
+    bins.fill(0)  # plant
+    return bins
+
+
+def slice_keeps_taint(graph):
+    """Basic slicing returns a view, so the taint survives."""
+    tail = graph.heads()[1:]
+    tail.sort()  # plant
+    return tail
+
+
+def astype_nocopy_keeps_taint(graph, idx):
+    """``astype(copy=False)`` may alias, so the taint survives."""
+    deg = graph.degrees()
+    wide = deg.astype(np.int64, copy=False)
+    np.add.at(wide, idx, 1)  # plant
+    return wide
+
+
+def copy_kills_taint(graph, hits):
+    """Clean: a private copy is free to mutate."""
+    mine = graph.degrees().copy()
+    np.subtract.at(mine, hits, 1)
+    mine.fill(0)
+    return mine
+
+
+def rebinding_kills_taint(graph):
+    """Clean: arithmetic produces a fresh array, and the name is rebound."""
+    deg = graph.degrees()
+    deg = deg + 1
+    deg[0] = 5
+    return deg
+
+
+def reads_are_fine(graph):
+    """Clean: reductions and reads never mutate the shared buffer."""
+    deg = graph.degrees()
+    return float(deg.sum()) + float(deg.max())
+
+
+def suppressed_scatter(graph, hits):
+    """A planted escape, silenced with an inline disable."""
+    deg = graph.degrees()
+    np.add.at(deg, hits, 1)  # repro-lint: disable=R010
+    return deg

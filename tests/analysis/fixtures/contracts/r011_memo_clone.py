@@ -1,0 +1,56 @@
+"""Fixture: R011 — aliasing around the result-cache clone boundary."""
+
+from collections import OrderedDict
+
+from repro.store.memo import clone_result
+
+
+def poke_raw_store(cache, key):
+    """Reaching around the cache API hands out the stored object."""
+    return cache._entries[key]  # plant
+
+
+class LeakyCache:
+    """A cache that skips the clone helper on both directions."""
+
+    def __init__(self):
+        self._entries = OrderedDict()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return entry  # plant
+
+    def put(self, key, result):
+        self._entries[key] = result  # plant
+
+
+class CloningCache:
+    """Clean: clone-on-get and clone-on-put, like ResultCache."""
+
+    def __init__(self):
+        self._entries = OrderedDict()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return clone_result(entry)
+
+    def put(self, key, result):
+        result = clone_result(result)
+        self._entries[key] = result
+
+
+class SuppressedCache:
+    """A planted leak, silenced with an inline disable."""
+
+    def __init__(self):
+        self._entries = OrderedDict()
+
+    def get(self, key):
+        return self._entries.get(key)  # repro-lint: disable=R011
+
+    def put(self, key, result):
+        self._entries[key] = result  # repro-lint: disable=R011

@@ -1,0 +1,51 @@
+"""Fixture: R012 — RunReport writes outside repro.engine."""
+
+import dataclasses
+
+
+def restamp_report(result, report):
+    """Replacing the engine-owned report wholesale."""
+    result.report = report  # plant
+    return result
+
+
+def rewrite_breakdown(result):
+    """Dict-valued fields mutate silently on a frozen dataclass."""
+    result.report.breakdown["extra"] = 1.0  # plant
+    return result
+
+
+def bump_counter(result):
+    """Augmented writes through a report chain are writes too."""
+    result.report.iterations += 1  # plant
+    return result
+
+
+def drop_report(result):
+    """Deleting the attribute is also an ownership violation."""
+    del result.report  # plant
+    return result
+
+
+class CarrierError(RuntimeError):
+    """Clean: carrier objects may *hold* a report they were given."""
+
+    def __init__(self, report):
+        super().__init__("parallel run failed")
+        self.report = report
+
+    def restamp(self, report):
+        """But they must not rewrite it after construction."""
+        self.report = report  # plant
+
+
+def derive_readonly(result):
+    """Clean: reads and dataclasses.replace produce new objects."""
+    fresh = dataclasses.replace(result.report, cache_hit=True)
+    return fresh.density + result.report.density
+
+
+def suppressed_restamp(result):
+    """A planted ownership violation, silenced with an inline disable."""
+    result.report = None  # repro-lint: disable=R012
+    return result

@@ -1,0 +1,175 @@
+"""Contract rules R007–R012: planted fixtures, suppressions, manifest.
+
+Each fixture module in ``fixtures/contracts/`` plants its violations on
+lines ending with a ``# plant`` marker; the parametrized test scans for
+the markers and requires the rule to fire on exactly those lines.  Clean
+variants in the same module double as false-positive regression tests,
+and ``# repro-lint: disable=`` lines prove the suppression machinery
+reaches the dataflow rules.
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import LintEngine
+from repro.engine.spec import registry_manifest
+
+FIXTURES = Path(__file__).parent / "fixtures" / "contracts"
+SRC_ROOT = Path(repro.__file__).parent
+
+RULE_FIXTURES = [
+    ("R007", "r007_runtime_charge.py"),
+    ("R008", "r008_cost_loops.py"),
+    ("R009", "r009_frontier.py"),
+    ("R010", "r010_scratch_escape.py"),
+    ("R011", "r011_memo_clone.py"),
+    ("R012", "r012_report_ownership.py"),
+]
+
+
+def planted_lines(path: Path) -> list[int]:
+    """Line numbers carrying the ``# plant`` marker."""
+    return sorted(
+        lineno
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        )
+        if line.rstrip().endswith("# plant")
+    )
+
+
+class TestPlantedFixtures:
+    @pytest.mark.parametrize(("rule_id", "filename"), RULE_FIXTURES)
+    def test_rule_fires_exactly_on_planted_lines(self, rule_id, filename):
+        path = FIXTURES / filename
+        expected = planted_lines(path)
+        assert expected, f"{filename} plants nothing — marker scan is broken"
+        findings = LintEngine(select=[rule_id]).lint_file(path)
+        assert {f.rule_id for f in findings} <= {rule_id}
+        fired = sorted(f.line for f in findings)
+        assert fired == expected, (
+            f"{rule_id} fired on {fired}, planted {expected}\n"
+            + "\n".join(f.format() for f in findings)
+        )
+
+    @pytest.mark.parametrize(("rule_id", "filename"), RULE_FIXTURES)
+    def test_suppressed_plants_exist(self, rule_id, filename):
+        # Every fixture must also exercise the inline-disable path.
+        text = (FIXTURES / filename).read_text(encoding="utf-8")
+        assert f"# repro-lint: disable={rule_id}" in text
+
+    def test_disable_file_silences_whole_module(self):
+        path = FIXTURES / "r007_disable_file.py"
+        assert LintEngine(select=["R007"]).lint_file(path) == []
+        # ...but the plant is real: stripping the pragma makes it fire.
+        stripped = path.read_text(encoding="utf-8").replace(
+            "# repro-lint: disable-file=R007", ""
+        )
+        findings = LintEngine(select=["R007"]).lint_source(stripped)
+        assert [f.rule_id for f in findings] == ["R007"]
+
+
+class TestR007Acceptance:
+    """The issue's acceptance plant: a solver skipping charge on one branch."""
+
+    def test_branch_skip_is_reported_by_solver_name(self):
+        path = FIXTURES / "r007_runtime_charge.py"
+        findings = LintEngine(select=["R007"]).lint_file(path)
+        branch = [f for f in findings if "skips-on-branch" in f.message]
+        assert len(branch) == 1
+        assert "without any runtime charge" in branch[0].message
+
+    def test_interprocedural_helper_resolution(self, tmp_path):
+        solver = textwrap.dedent(
+            '''
+            from repro.engine.spec import register_solver
+            from helpers import drain
+
+
+            @register_solver(
+                "forwarding",
+                kind="uds",
+                guarantee="heuristic",
+                cost="parallel",
+                supports_runtime=True,
+            )
+            def forwarding(graph, runtime=None):
+                drain(graph, runtime)
+                return 0
+            '''
+        )
+        charging = "def drain(graph, rt):\n    rt.charge_serial(1.0)\n"
+        pure = "def drain(graph, rt):\n    return graph.num_edges\n"
+
+        clean_dir = tmp_path / "clean"
+        dirty_dir = tmp_path / "dirty"
+        for directory, helper in ((clean_dir, charging), (dirty_dir, pure)):
+            directory.mkdir()
+            (directory / "solver.py").write_text(solver)
+            (directory / "helpers.py").write_text(helper)
+
+        engine = LintEngine(select=["R007"])
+        assert engine.lint_paths([clean_dir]) == []
+        findings = engine.lint_paths([dirty_dir])
+        assert [f.rule_id for f in findings] == ["R007"]
+        assert "forwarding" in findings[0].message
+
+    def test_unknown_callee_is_forgiving(self, tmp_path):
+        # A runtime forwarded to an unresolvable callee counts as charged:
+        # better to miss a violation than flag dynamic dispatch.
+        target = tmp_path / "solver.py"
+        target.write_text(
+            textwrap.dedent(
+                '''
+                from repro.engine.spec import register_solver
+                from somewhere.dynamic import mystery
+
+
+                @register_solver(
+                    "dynamic",
+                    kind="uds",
+                    guarantee="heuristic",
+                    cost="parallel",
+                    supports_runtime=True,
+                )
+                def dynamic(graph, runtime=None):
+                    mystery(graph, runtime)
+                    return 0
+                '''
+            )
+        )
+        assert LintEngine(select=["R007"]).lint_paths([tmp_path]) == []
+
+
+class TestContractsManifest:
+    """Static decorator literals must match the live registry."""
+
+    def test_manifest_covers_every_registered_solver(self):
+        project = LintEngine().build_project([SRC_ROOT])
+        static = project.contracts_manifest()
+        dynamic = registry_manifest()
+        assert len(dynamic) >= 23
+        static_keys = [(r["kind"], r["name"]) for r in static]
+        dynamic_keys = [(r["kind"], r["name"]) for r in dynamic]
+        assert static_keys == dynamic_keys  # same solvers, same sort order
+
+    def test_declared_literals_match_registry_flags(self):
+        project = LintEngine().build_project([SRC_ROOT])
+        static = {(r["kind"], r["name"]): r for r in project.contracts_manifest()}
+        for record in registry_manifest():
+            rec = static[(record["kind"], record["name"])]
+            assert rec["declared"] == record["capabilities"], record["name"]
+            assert rec["guarantee"] == record["guarantee"]
+            assert rec["cost"] == record["cost"]
+            assert rec["function"].split(".")[-1] == record["function"].split(".")[-1]
+
+    def test_load_bearing_capabilities_have_no_drift(self):
+        # R007/R009 gate these two directions; the committed codebase must
+        # infer exactly what it declares for runtime and frontier.
+        project = LintEngine().build_project([SRC_ROOT])
+        for rec in project.contracts_manifest():
+            assert rec["inferred"]["runtime"] == rec["declared"]["runtime"], rec
+            assert rec["inferred"]["frontier"] == rec["declared"]["frontier"], rec

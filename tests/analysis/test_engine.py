@@ -55,7 +55,8 @@ class TestEngine:
 
     def test_ignore_removes_rules(self):
         engine = LintEngine(ignore=["R003", "R004"])
-        assert {r.rule_id for r in engine.rules} == {"R001", "R002", "R005", "R006"}
+        expected = {r.rule_id for r in DEFAULT_RULES} - {"R003", "R004"}
+        assert {r.rule_id for r in engine.rules} == expected
 
     def test_rule_ids_unique_and_well_formed(self):
         ids = [rule.rule_id for rule in DEFAULT_RULES]
