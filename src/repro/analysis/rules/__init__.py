@@ -2,10 +2,11 @@
 
 Each rule is a small :class:`~repro.analysis.engine.Rule` visitor with an
 id, severity, and fix hint; ``DEFAULT_RULES`` is the registry the engine
-and the ``repro-lint`` CLI load.  R001–R006 are single-node pattern
-rules living in this package; R007–R012 are the dataflow contract rules
-from :mod:`repro.analysis.contracts`.  The catalogue, with rationale and
-examples, is documented in ``docs/static_analysis.md``.
+and the ``repro-lint`` CLI load.  R001–R006 and R013 are single-node
+pattern rules living in this package; R007–R012 are the dataflow
+contract rules from :mod:`repro.analysis.contracts`.  The catalogue,
+with rationale and examples, is documented in
+``docs/static_analysis.md``.
 
 The advertised id range is derived from the registry —
 :func:`rule_range` — so CLI help and module docs can never go stale
@@ -15,6 +16,7 @@ against the actual rule set again.
 from __future__ import annotations
 
 from ..contracts import CONTRACT_RULES
+from .backend_dispatch import BackendDispatchRule
 from .csr_mutation import CsrMutationRule
 from .determinism import DeterminismRule
 from .docstrings import PublicDocstringRule
@@ -30,11 +32,12 @@ DEFAULT_RULES = (
     CsrMutationRule,
     SolverRegistryRule,
     *CONTRACT_RULES,
+    BackendDispatchRule,
 )
 
 
 def rule_range(rules=DEFAULT_RULES) -> str:
-    """The advertised id range of a rule registry, e.g. ``"R001-R012"``."""
+    """The advertised id range of a rule registry, e.g. ``"R001-R013"``."""
     ids = sorted(rule.rule_id for rule in rules)
     if not ids:
         return ""
@@ -45,6 +48,7 @@ def rule_range(rules=DEFAULT_RULES) -> str:
 
 __all__ = [
     "DEFAULT_RULES",
+    "BackendDispatchRule",
     "DeterminismRule",
     "ExceptionHygieneRule",
     "PublicDocstringRule",

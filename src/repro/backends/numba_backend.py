@@ -1,0 +1,150 @@
+"""Optional numba backend: JIT'd, thread-parallel kernel loops.
+
+Import-guarded: when numba is absent this module still imports cleanly
+and :meth:`NumbaBackend.available` reports ``False`` — the dispatch
+layer then silently drops ``numba`` from the available set and only an
+*explicit* selection raises :class:`~repro.errors.BackendError`.  No
+compilation happens at import time; the ``@njit`` wrappers are built on
+first use.
+
+The per-vertex loop computes each segment's h-index with the same
+clip-to-degree counting argument the vectorised kernel uses (count how
+many neighbour values are >= k for k = d..1, first k with
+``count_ge(k) >= k`` is the maximum), so outputs are bit-identical
+integers to the numpy reference.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import BackendError
+from .base import ArrayBackend
+from .numpy_backend import induced_edge_count_numpy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..graph.undirected import UndirectedGraph
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba  # noqa: F401
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the only path on this CI image
+    HAVE_NUMBA = False
+
+__all__ = ["NumbaBackend", "HAVE_NUMBA"]
+
+_JITTED = None
+
+
+def _build_kernels():  # pragma: no cover - requires numba
+    """Compile the JIT kernels lazily (first backend use, not import)."""
+    global _JITTED
+    if _JITTED is not None:
+        return _JITTED
+    from numba import njit, prange
+
+    @njit(cache=True)
+    def _segment_h(values, start, length):
+        # h-index of values[start:start+length] via clipped counting.
+        counts = np.zeros(length + 1, dtype=np.int64)
+        for slot in range(start, start + length):
+            value = values[slot]
+            if value > length:
+                value = length
+            if value > 0:
+                counts[value] += 1
+        count_ge = 0
+        for k in range(length, 0, -1):
+            count_ge += counts[k]
+            if count_ge >= k:
+                return k
+        return 0
+
+    @njit(parallel=True, cache=True)
+    def _sweep_ranges(seg_ptr, values, out):
+        for seg in prange(seg_ptr.size - 1):
+            start = seg_ptr[seg]
+            out[seg] = _segment_h(values, start, seg_ptr[seg + 1] - start)
+
+    @njit(parallel=True, cache=True)
+    def _sweep_subset(indptr, indices, h, vertices, out):
+        for i in prange(vertices.size):
+            v = vertices[i]
+            start = indptr[v]
+            length = indptr[v + 1] - start
+            counts = np.zeros(length + 1, dtype=np.int64)
+            for slot in range(start, start + length):
+                value = h[indices[slot]]
+                if value > length:
+                    value = length
+                if value > 0:
+                    counts[value] += 1
+            best = 0
+            count_ge = 0
+            for k in range(length, 0, -1):
+                count_ge += counts[k]
+                if count_ge >= k:
+                    best = k
+                    break
+            out[i] = best
+
+    _JITTED = (_sweep_ranges, _sweep_subset)
+    return _JITTED
+
+
+class NumbaBackend(ArrayBackend):
+    """JIT'd thread-parallel backend; available only if numba imports."""
+
+    name = "numba"
+
+    def available(self) -> bool:
+        """True iff numba imported successfully in this environment."""
+        return HAVE_NUMBA
+
+    def _require(self):
+        if not HAVE_NUMBA:
+            raise BackendError(
+                "the numba backend was selected but numba is not installed"
+            )
+        return _build_kernels()
+
+    def segment_h_index(self, seg_ptr, values, seg_rows=None, bins=None):
+        """Per-segment h-indices on the jit-compiled range kernel."""
+        sweep_ranges, _ = self._require()
+        seg_ptr = np.ascontiguousarray(np.asarray(seg_ptr), dtype=np.int64)
+        values = np.ascontiguousarray(np.asarray(values), dtype=np.int64)
+        out = np.empty(max(seg_ptr.size - 1, 0), dtype=np.int64)
+        if out.size:
+            sweep_ranges(seg_ptr, values, out)
+        return out
+
+    def sweep_values(self, graph, h, vertices=None):
+        """One h-index sweep on the jit-compiled kernels."""
+        sweep_ranges, sweep_subset = self._require()
+        h64 = np.ascontiguousarray(np.asarray(h), dtype=np.int64)
+        if vertices is None:
+            values = h64[graph.indices]
+            seg_ptr = np.ascontiguousarray(graph.indptr, dtype=np.int64)
+            out = np.empty(graph.num_vertices, dtype=np.int64)
+            if out.size:
+                sweep_ranges(seg_ptr, values, out)
+            return out
+        vertices = np.ascontiguousarray(np.asarray(vertices), dtype=np.int64)
+        out = np.empty(vertices.size, dtype=np.int64)
+        if out.size:
+            sweep_subset(
+                np.ascontiguousarray(graph.indptr, dtype=np.int64),
+                np.ascontiguousarray(graph.indices, dtype=np.int64),
+                h64,
+                vertices,
+                out,
+            )
+        return out
+
+    def induced_edge_count(self, graph, member):
+        """Induced edge count (delegates to numpy — see the comment)."""
+        # The boolean reduction is already memory-bound; numpy wins.
+        return induced_edge_count_numpy(graph, member)

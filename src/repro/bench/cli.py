@@ -5,6 +5,8 @@ Examples::
     repro-bench --list
     repro-bench exp1 exp2
     repro-bench all --output results/
+    repro-bench backends --check BENCH_backends.json
+    repro-bench all --check
 """
 
 from __future__ import annotations
@@ -34,7 +36,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment ids (exp1..exp8), 'kernels' (the kernel-layer "
             "bench-regression harness), 'store' (the storage-layer "
-            "harness) or 'all'; default: all"
+            "harness), 'backends' (the array-backend harness) or 'all'; "
+            "default: all"
         ),
     )
     parser.add_argument(
@@ -64,14 +67,23 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--check",
         type=Path,
+        nargs="?",
         default=None,
+        const=_CHECK_DEFAULT,
         metavar="BASELINE_JSON",
         help=(
-            "with 'kernels' or 'store': compare the fresh run against the "
-            "committed BENCH_*.json baseline and exit non-zero on regression"
+            "with 'kernels', 'store' or 'backends': compare the fresh run "
+            "against the committed BENCH_*.json baseline and exit non-zero "
+            "on regression; with 'all', run every harness against its "
+            "committed baseline (bare --check uses the default file names)"
         ),
     )
     return parser
+
+
+#: Sentinel for a bare ``--check``: each harness falls back to its own
+#: committed baseline name (``BENCH_<label>.json`` in the working tree).
+_CHECK_DEFAULT = Path("__default_baseline__")
 
 
 def _run_harness(args, label: str, run, check, render, baseline_name: str) -> int:
@@ -81,13 +93,16 @@ def _run_harness(args, label: str, run, check, render, baseline_name: str) -> in
     payload = run()
     print(render(payload))
     if args.check is not None:
-        baseline = json.loads(args.check.read_text(encoding="utf-8"))
+        baseline_path = (
+            Path(baseline_name) if args.check == _CHECK_DEFAULT else args.check
+        )
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
         failures = check(payload, baseline)
         for failure in failures:
             print(f"  [FAIL] {failure}")
         if failures:
             return 1
-        print(f"  [PASS] no {label} regression vs {args.check}")
+        print(f"  [PASS] no {label} regression vs {baseline_path}")
         return 0
     output_dir = args.output if args.output is not None else Path(".")
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -117,6 +132,24 @@ def _run_store(args) -> int:
     )
 
 
+def _run_backends(args) -> int:
+    """Run the backend bench; write or check ``BENCH_backends.json``."""
+    from .backends import check_regression, render_backend_report, run_backend_bench
+
+    return _run_harness(
+        args, "backends", run_backend_bench, check_regression,
+        render_backend_report, "BENCH_backends.json",
+    )
+
+
+#: The bench-regression harnesses, in the order ``all --check`` runs them.
+_HARNESSES = (
+    ("kernels", _run_kernels),
+    ("store", _run_store),
+    ("backends", _run_backends),
+)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -127,7 +160,33 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     requested = args.experiments or ["all"]
-    for name, runner in (("kernels", _run_kernels), ("store", _run_store)):
+    if "all" in requested and args.check is not None:
+        # Umbrella gate: run every bench-regression harness against its
+        # committed baseline.  Each harness gets a fresh interpreter so
+        # its measurements happen under the same conditions as the
+        # standalone invocation that produced its committed baseline
+        # (in-process sequencing warms caches and skews the ratios).
+        # Keeps going past a failure so CI logs show the full picture,
+        # then reports the worst status.
+        import subprocess
+
+        if args.check != _CHECK_DEFAULT:
+            print(
+                "'all --check' runs every harness against its committed "
+                "baseline; a baseline path only applies to a single "
+                "harness",
+                file=sys.stderr,
+            )
+            return 2
+        worst = 0
+        for label, _ in _HARNESSES:
+            print(f"== {label} ==", flush=True)
+            status = subprocess.call(
+                [sys.executable, "-m", "repro.bench.cli", label, "--check"]
+            )
+            worst = max(worst, status)
+        return worst
+    for name, runner in _HARNESSES:
         if name in requested:
             status = runner(args)
             requested = [item for item in requested if item != name]

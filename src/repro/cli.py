@@ -98,6 +98,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "support them, reproducing the full-sweep costing",
     )
     parser.add_argument(
+        "--backend",
+        choices=("numpy", "multiproc", "numba"),
+        default=None,
+        help="array backend the kernels execute on (default: the "
+        "REPRO_BACKEND environment variable, then numpy); results are "
+        "bit-identical across backends",
+    )
+    parser.add_argument(
         "--top-component",
         action="store_true",
         help="report only the densest connected component of the answer "
@@ -176,7 +184,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("path is required (or use --list-methods)")
     try:
         options = _parse_options(args.option)
-        ctx = ExecutionContext(num_threads=args.threads, sanitize=args.sanitize)
+        ctx = ExecutionContext(
+            num_threads=args.threads,
+            sanitize=args.sanitize,
+            backend=args.backend,
+        )
         kind = "dds" if args.directed else "uds"
         spec = get_solver(kind, args.method or ("pwc" if args.directed else "pkmc"))
         if args.no_frontier:

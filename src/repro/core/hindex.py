@@ -24,8 +24,7 @@ import numpy as np
 
 from ..analysis.race import declare_order_dependent
 from ..graph.undirected import UndirectedGraph
-from ..kernels.frontier import gauss_seidel_batches
-from ..kernels.segments import concat_ranges, segment_h_index
+from ..kernels.frontier import gauss_seidel_batches, hindex_sweep_values
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.simruntime import SimRuntime
@@ -66,6 +65,10 @@ def synchronous_sweep(
     (:func:`~repro.kernels.segments.segment_h_index`) over the graph's
     cached ``heads()`` / ``hindex_bins()`` scratch buffers — O(m) per
     sweep instead of the O(m log m) per-sweep ``lexsort`` it replaces.
+    The recomputation itself runs on the active array backend
+    (:func:`~repro.kernels.frontier.hindex_sweep_values`), which may
+    split the vertex range across worker processes; outputs are
+    bit-identical whichever backend executes.
 
     When ``runtime`` is a sanitizing :class:`~repro.runtime.simruntime.
     SimRuntime`, the sweep instead executes its per-vertex kernel one
@@ -88,12 +91,7 @@ def synchronous_sweep(
             n, jacobi_body, {"old": h, "new": new_h}, label="synchronous_sweep"
         )
         return new_h
-    return segment_h_index(
-        graph.indptr,
-        h[graph.indices],
-        seg_rows=graph.heads(),
-        bins=graph.hindex_bins(),
-    ).astype(h.dtype, copy=False)
+    return hindex_sweep_values(graph, h).astype(h.dtype, copy=False)
 
 
 def inplace_sweep(
@@ -138,14 +136,12 @@ def inplace_sweep(
         return h
     if batches is None:
         batches = gauss_seidel_batches(graph, order)
-    indptr, indices = graph.indptr, graph.indices
-    degrees = graph.degrees()
     for batch in batches:
-        lens = degrees[batch]
-        slots = concat_ranges(indptr[batch], lens)
-        seg_ptr = np.zeros(batch.size + 1, dtype=np.int64)
-        np.cumsum(lens, out=seg_ptr[1:])
-        h[batch] = segment_h_index(seg_ptr, h[indices[slots]]).astype(
+        # Batch members are pairwise non-adjacent, so recomputing them
+        # against the current ``h`` and writing back simultaneously is
+        # exactly the sequential update — and safely range-splittable by
+        # the parallel backends.
+        h[batch] = hindex_sweep_values(graph, h, batch).astype(
             h.dtype, copy=False
         )
     return h

@@ -28,6 +28,7 @@ from ..errors import EmptyGraphError
 from ..graph.undirected import UndirectedGraph
 from ..kernels.density import induced_density
 from ..kernels.frontier import frontier_synchronous_sweep
+from ..runtime.simruntime import SimRuntime
 from .cluster import BSPCluster, ClusterConfig
 
 __all__ = ["distributed_pkmc"]
@@ -45,22 +46,35 @@ def _cross_neighbor_counts(graph: UndirectedGraph, owner: np.ndarray) -> np.ndar
 
 
 @register_solver(
-    "pkmc-bsp", kind="uds", guarantee="2-approx", cost="bsp", supports_cluster=True
+    "pkmc-bsp", kind="uds", guarantee="2-approx", cost="bsp",
+    supports_cluster=True, supports_sanitize=True,
 )
 def distributed_pkmc(
     graph: UndirectedGraph,
     config: ClusterConfig | None = None,
     early_stop: bool = True,
     max_supersteps: int | None = None,
+    sanitize: bool = False,
 ) -> UDSResult:
     """Run PKMC as a vertex-centric BSP program; return the k*-core.
 
     The returned :class:`UDSResult` carries the simulated cluster time in
     ``simulated_seconds`` and, in ``extras``: the superstep count, total
     messages, and the partition's cross-edge fraction.
+
+    ``sanitize=True`` routes every superstep's h-recomputation through
+    the parfor race sanitizer.  The BSP port charges all costs to the
+    simulated *cluster*, not to a SimRuntime, so it drives a local
+    sanitizing runtime of its own — the cluster clock, supersteps and
+    results are unchanged; the sweep kernels are simply executed under
+    :meth:`~repro.runtime.simruntime.SimRuntime.observe_parfor`.  This
+    is the kwarg the engine forwards for ``repro-dsd --sanitize``
+    (declared ``supports_sanitize`` matches what the contract verifier
+    infers from the sweep's dataflow).
     """
     if graph.num_edges == 0:
         raise EmptyGraphError("UDS is undefined on a graph without edges")
+    sanitizer = SimRuntime(sanitize=True) if sanitize else None
     cluster = BSPCluster(graph, config)
     cross_counts = _cross_neighbor_counts(graph, cluster.owner)
     degrees = graph.degrees().astype(np.float64)
@@ -85,7 +99,9 @@ def distributed_pkmc(
         # Work: only vertices that received a message recompute — exactly
         # the frontier the sweep kernel tracks (neighbours of vertices
         # that changed last superstep).
-        new_h, woken = frontier_synchronous_sweep(graph, h, frontier=frontier)
+        new_h, woken = frontier_synchronous_sweep(
+            graph, h, frontier=frontier, runtime=sanitizer
+        )
         changed = new_h < h
         if frontier is None:
             compute = degrees + _H_UPDATE_UNITS

@@ -39,7 +39,13 @@ class ExecutionContext:
     (:mod:`repro.store.memo`): hits are served without re-executing the
     solver, keyed on the graph fingerprint plus every behavior-relevant
     context field; when unset, the process-wide default cache (if any)
-    applies.
+    applies.  ``backend`` selects the array backend
+    (:mod:`repro.backends`) the solver's kernels execute on for the
+    duration of the run — ``None`` defers to the ``REPRO_BACKEND``
+    environment variable, then the numpy default.  Outputs are
+    bit-identical whichever backend runs, so the field only affects
+    wall-clock (and is recorded in the
+    :class:`~repro.engine.report.RunReport`).
     """
 
     num_threads: int = 1
@@ -51,6 +57,7 @@ class ExecutionContext:
     memory_limit_bytes: float | None = None
     cluster_config: "ClusterConfig | None" = None
     cache: "ResultCache | None" = None
+    backend: str | None = None
     extras: dict[str, Any] = field(default_factory=dict)
 
     def ensure_runtime(self) -> SimRuntime:

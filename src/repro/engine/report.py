@@ -37,7 +37,9 @@ class RunReport:
     graph's CSR + cached scratch buffers (``graph.memory_bytes()``) —
     distinct from the simulated ``peak_memory_bytes``.  ``cache_hit``
     marks results served from the engine's memoization cache without
-    re-running the solver.
+    re-running the solver.  ``backend`` is the resolved array backend
+    (:mod:`repro.backends`) the run's kernels executed on; it affects
+    wall-clock only — never results or simulated seconds.
     """
 
     solver: str
@@ -53,6 +55,7 @@ class RunReport:
     peak_memory_bytes: int = 0
     graph_memory_bytes: int = 0
     cache_hit: bool = False
+    backend: str = "numpy"
     breakdown: dict[str, float] = field(default_factory=dict)
 
     @classmethod
@@ -62,12 +65,19 @@ class RunReport:
         result: Any,
         runtime: "SimRuntime | None" = None,
         graph: Any = None,
+        backend: str | None = None,
     ) -> "RunReport":
         """Build the report for ``result`` produced by ``spec``'s solver.
 
         Deterministic in its inputs: the engine and a direct solver call
         that used the same runtime (and graph) produce equal reports.
+        ``backend=None`` records the currently active array backend —
+        what a direct solver call just executed on.
         """
+        if backend is None:
+            from ..backends import backend_name
+
+            backend = backend_name()
         graph_memory = (
             int(graph.memory_bytes())
             if graph is not None and hasattr(graph, "memory_bytes")
@@ -88,6 +98,7 @@ class RunReport:
                 parallel_loops=metrics.parallel_loops,
                 peak_memory_bytes=metrics.peak_memory_bytes,
                 graph_memory_bytes=graph_memory,
+                backend=backend,
                 breakdown=metrics.breakdown.as_dict(),
             )
         return cls(
@@ -99,6 +110,7 @@ class RunReport:
             iterations=result.iterations,
             simulated_seconds=result.simulated_seconds,
             graph_memory_bytes=graph_memory,
+            backend=backend,
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -117,5 +129,6 @@ class RunReport:
             "peak_memory_bytes": self.peak_memory_bytes,
             "graph_memory_bytes": self.graph_memory_bytes,
             "cache_hit": self.cache_hit,
+            "backend": self.backend,
             "breakdown": dict(self.breakdown),
         }

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any
 
+from ..backends import resolve_backend_name, use_backend
 from ..errors import EngineError
 from ..graph.directed import DirectedGraph
 from ..graph.undirected import UndirectedGraph
@@ -60,7 +61,12 @@ def run(
     declares ``supports_runtime`` (built lazily from the context's thread
     count, budgets and sanitize flag), ``frontier`` only when
     ``supports_frontier`` and the context sets it, ``seed`` only when
-    ``supports_seed``, and ``config`` only when ``supports_cluster``.
+    ``supports_seed``, ``config`` only when ``supports_cluster``, and
+    ``sanitize`` only when ``supports_sanitize`` on a solver with no
+    runtime to carry it.  The whole run executes under the context's
+    array backend (``ctx.backend``, resolved through
+    :func:`repro.backends.resolve_backend_name`); the resolved name is
+    recorded in the report and participates in the memoization key.
 
     After the run, a ``supports_runtime`` solver must have charged work to
     the runtime it received (a parallel loop or a serial section) —
@@ -71,6 +77,10 @@ def run(
     """
     spec = resolve_solver(solver, graph)
     ctx = ctx or ExecutionContext()
+    # Resolve the array backend up front: an unknown name fails fast
+    # (before any cache lookup), and the resolved name is part of the
+    # cache key and the report either way.
+    backend = resolve_backend_name(ctx.backend)
     kwargs: dict[str, Any] = dict(spec.default_options)
     kwargs.update(options)
     # A caller-supplied runtime kwarg is honoured for runtime-capable
@@ -89,7 +99,8 @@ def run(
     cache_key = None
     if cache is not None and hasattr(graph, "fingerprint"):
         cache_key = make_cache_key(
-            graph.fingerprint(), spec.kind, spec.name, ctx, kwargs
+            graph.fingerprint(), spec.kind, spec.name, ctx, kwargs,
+            backend=backend,
         )
         cached = cache.get(cache_key)
         if cached is not None:
@@ -109,8 +120,15 @@ def run(
         kwargs["seed"] = ctx.seed
     if spec.supports_cluster and ctx.cluster_config is not None:
         kwargs.setdefault("config", ctx.cluster_config)
+    if spec.supports_sanitize and not spec.supports_runtime and ctx.sanitize:
+        # Runtime-capable solvers receive the sanitize flag inside the
+        # SimRuntime built above; solvers that sanitize *without* a
+        # runtime (the BSP ports drive a local sanitizing runtime of
+        # their own) get it as an explicit kwarg.
+        kwargs["sanitize"] = True
 
-    result = spec.func(graph, **kwargs)
+    with use_backend(backend):
+        result = spec.func(graph, **kwargs)
 
     if runtime is not None:
         charged = (
@@ -122,7 +140,9 @@ def run(
                 f"solver {spec.kind}:{spec.name} declares supports_runtime "
                 "but charged nothing to the SimRuntime it was given"
             )
-    result.report = RunReport.from_run(spec, result, runtime, graph=graph)
+    result.report = RunReport.from_run(
+        spec, result, runtime, graph=graph, backend=backend
+    )
     if cache is not None:
         cache.put(cache_key, result)
     return result

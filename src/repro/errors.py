@@ -44,6 +44,16 @@ class EngineError(ReproError):
     """
 
 
+class BackendError(ReproError):
+    """Raised by :mod:`repro.backends` for array-backend failures.
+
+    Covers unknown backend names, explicit selection of a backend whose
+    optional dependency is missing (e.g. ``numba`` without numba
+    installed), and worker-side failures surfaced by the multiprocessing
+    backend.
+    """
+
+
 class SimulationError(ReproError):
     """Base class for simulated-runtime failures."""
 

@@ -18,6 +18,13 @@ time in —
 Reference (pre-kernel-layer) implementations are kept as
 ``reference_synchronous_sweep`` / ``reference_inplace_sweep`` so property
 tests and the bench-regression harness can compare old against new.
+
+This layer states *what* every kernel computes; *how* it executes is
+delegated to the active array backend (:mod:`repro.backends` — numpy
+reference, shared-memory multiprocessing, optional numba JIT), selected
+via ``ExecutionContext(backend=...)`` or ``REPRO_BACKEND``.  Outputs
+are bit-identical across backends, and lint rule R013 flags direct
+``np`` kernel calls here that would bypass the dispatch.
 """
 
 from .density import induced_density, induced_edge_count
@@ -25,6 +32,7 @@ from .frontier import (
     frontier_inplace_sweep,
     frontier_synchronous_sweep,
     gauss_seidel_batches,
+    hindex_sweep_values,
 )
 from .segments import (
     concat_ranges,
@@ -36,6 +44,7 @@ __all__ = [
     "concat_ranges",
     "segment_h_index",
     "reference_segment_h_index",
+    "hindex_sweep_values",
     "frontier_synchronous_sweep",
     "frontier_inplace_sweep",
     "gauss_seidel_batches",

@@ -2,8 +2,10 @@
 
 Every solver family used to rebuild ``np.repeat(np.arange(n), degrees)``
 just to count the edges inside its answer set; this module is the single
-implementation, running one vectorised pass over the graph's cached
-``heads()`` scratch buffer.
+implementation, one vectorised pass over the graph's cached ``heads()``
+scratch buffer, executed by the active array backend
+(:mod:`repro.backends` — the multiproc backend splits the slot range
+across workers on large graphs).
 """
 
 from __future__ import annotations
@@ -11,6 +13,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from ..backends import get_backend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..graph.undirected import UndirectedGraph
@@ -20,9 +24,7 @@ __all__ = ["induced_edge_count", "induced_density"]
 
 def induced_edge_count(graph: "UndirectedGraph", member: np.ndarray) -> int:
     """Number of edges with both endpoints inside the ``member`` mask."""
-    heads = graph.heads()
-    inside = member[heads] & member[graph.indices] & (heads < graph.indices)
-    return int(np.count_nonzero(inside))
+    return get_backend().induced_edge_count(graph, member)
 
 
 def induced_density(graph: "UndirectedGraph", vertices: np.ndarray) -> float:

@@ -33,19 +33,39 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from .segments import concat_ranges, segment_h_index
+from ..backends import get_backend
+from .segments import concat_ranges
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..graph.undirected import UndirectedGraph
     from ..runtime.simruntime import SimRuntime
 
 __all__ = [
+    "hindex_sweep_values",
     "frontier_synchronous_sweep",
     "frontier_inplace_sweep",
     "gauss_seidel_batches",
 ]
 
 _EMPTY = np.empty(0, dtype=np.int64)
+
+
+def hindex_sweep_values(
+    graph: "UndirectedGraph",
+    h: np.ndarray,
+    vertices: np.ndarray | None = None,
+) -> np.ndarray:
+    """Recomputed h-index values of a vertex set, via the active backend.
+
+    The single graph-aware hot-path operation every sweep is built from:
+    ``vertices=None`` is one full Jacobi sweep body (all ``n`` values
+    recomputed against the current ``h``); a vertex array restricts the
+    recomputation to those ids, with the result aligned to ``vertices``.
+    Returns ``int64`` values — callers cast back to ``h.dtype``.  This
+    is the seam the parallel backends plug into
+    (:mod:`repro.backends`); outputs are bit-identical across backends.
+    """
+    return get_backend().sweep_values(graph, h, vertices)
 
 
 def _scalar_h_index(values: np.ndarray) -> int:
@@ -106,11 +126,7 @@ def frontier_synchronous_sweep(
                 label="frontier_synchronous_sweep",
             )
         else:
-            lens = graph.degrees()[frontier]
-            slots = concat_ranges(indptr[frontier], lens)
-            seg_ptr = np.zeros(frontier.size + 1, dtype=np.int64)
-            np.cumsum(lens, out=seg_ptr[1:])
-            new_h[frontier] = segment_h_index(seg_ptr, h[indices[slots]]).astype(
+            new_h[frontier] = hindex_sweep_values(graph, h, frontier).astype(
                 h.dtype, copy=False
             )
         changed = frontier[new_h[frontier] < h[frontier]]
@@ -178,7 +194,6 @@ def frontier_inplace_sweep(
     if dirty is None:
         dirty = np.ones(n, dtype=bool)
     indptr, indices = graph.indptr, graph.indices
-    degrees = graph.degrees()
     sanitizing = runtime is not None and runtime.sanitize
     processed_parts: list[np.ndarray] = []
     for batch in batches:
@@ -197,11 +212,7 @@ def frontier_inplace_sweep(
                 members.size, batch_body, {"h_arr": h}, label="frontier_inplace_batch"
             )
         else:
-            lens = degrees[members]
-            slots = concat_ranges(indptr[members], lens)
-            seg_ptr = np.zeros(members.size + 1, dtype=np.int64)
-            np.cumsum(lens, out=seg_ptr[1:])
-            h[members] = segment_h_index(seg_ptr, h[indices[slots]]).astype(
+            h[members] = hindex_sweep_values(graph, h, members).astype(
                 h.dtype, copy=False
             )
         changed = members[h[members] < old_values]

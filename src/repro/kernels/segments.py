@@ -18,11 +18,21 @@ h-index of every segment without sorting:
 Total work is O(m + n) with no comparison sort anywhere, against the
 O(m log m) ``lexsort`` of the pre-kernel-layer sweep (kept below as
 :func:`reference_segment_h_index` for property tests and benches).
+
+Execution is delegated to the active array backend
+(:func:`repro.backends.get_backend`): this module keeps the public
+contract and the docstring walkthrough, while the raw numpy formulation
+lives in :mod:`repro.backends.numpy_backend` where the parallel
+backends can share it.  Lint rule R013 guards the split — direct
+``np`` kernel calls in this package that bypass the dispatch are
+flagged.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from ..backends import get_backend
 
 __all__ = [
     "concat_ranges",
@@ -91,42 +101,9 @@ def segment_h_index(
     >>> segment_h_index(np.array([0, 4, 4]), np.array([4, 3, 3, 1])).tolist()
     [3, 0]
     """
-    seg_ptr = np.asarray(seg_ptr)
-    if not np.issubdtype(seg_ptr.dtype, np.integer):
-        seg_ptr = seg_ptr.astype(np.int64)
-    n = seg_ptr.size - 1
-    if n <= 0:
-        return np.empty(0, dtype=np.int64)
-    lens = np.diff(seg_ptr)
-    if seg_rows is None:
-        seg_rows = np.repeat(np.arange(n, dtype=seg_ptr.dtype), lens)
-    values = np.asarray(values)
-    if not np.issubdtype(values.dtype, np.integer):
-        values = values.astype(np.int64)
-    # Dtype-preserving: int32-narrowed graphs pass int32 seg_ptr/heads/
-    # bins and the histogram keys stay int32 — no per-sweep upcast copy.
-    clipped = np.minimum(values, lens[seg_rows])
-    if bins is None:
-        bin_ptr = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(lens.astype(np.int64) + 1, out=bin_ptr[1:])
-        bin_rows = np.repeat(np.arange(n, dtype=np.int64), lens + 1)
-    else:
-        bin_ptr, bin_rows = bins
-    total_bins = int(bin_ptr[-1])
-    hist = np.bincount(bin_ptr[seg_rows] + clipped, minlength=total_bins)
-    csum = np.cumsum(hist)
-    positions = np.arange(total_bins, dtype=np.int64)
-    rank = positions - bin_ptr[bin_rows]
-    # count_ge at the bin of rank k (k >= 1) is the segment-suffix sum
-    # hist[k..d], i.e. csum at the segment's last bin minus csum just
-    # before this bin.  Rank-0 bins index csum[-1] harmlessly: they are
-    # masked out below.
-    seg_last = csum[bin_ptr[1:] - 1]
-    count_ge = seg_last[bin_rows] - csum[positions - 1]
-    satisfied = (rank >= 1) & (count_ge >= rank)
-    prefix = np.zeros(total_bins + 1, dtype=np.int64)
-    np.cumsum(satisfied, out=prefix[1:])
-    return prefix[bin_ptr[1:]] - prefix[bin_ptr[:-1]]
+    return get_backend().segment_h_index(
+        seg_ptr, values, seg_rows=seg_rows, bins=bins
+    )
 
 
 def reference_segment_h_index(
@@ -147,7 +124,7 @@ def reference_segment_h_index(
     values = np.asarray(values)
     if seg_rows is None:
         seg_rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(seg_ptr))
-    order = np.lexsort((-values, seg_rows))
+    order = np.lexsort((-values, seg_rows))  # repro-lint: disable=R013
     sorted_values = values[order]
     rank_in_row = np.arange(sorted_values.size) - seg_ptr[seg_rows] + 1
     satisfied = sorted_values >= rank_in_row

@@ -56,6 +56,7 @@ def make_cache_key(
     solver: str,
     ctx,
     options: dict,
+    backend: Optional[str] = None,
 ) -> Optional[tuple]:
     """Cache key for a run, or None when the run is not cacheable.
 
@@ -64,6 +65,13 @@ def make_cache_key(
     frontier, budgets and cluster shape change behavior). A pre-supplied
     ``ctx.runtime`` carries arbitrary prior state, and unhashable option
     values cannot be keyed — both make the run uncacheable.
+
+    ``backend`` is the *resolved* array-backend name the engine will run
+    under.  Backends produce bit-identical results, but the report
+    records which one executed, so a hit must come from a run on the
+    same backend — the engine passes the resolved name rather than the
+    raw ``ctx.backend`` so ``None`` (deferred to the environment) and an
+    explicit name key identically.
     """
     if ctx.runtime is not None:
         return None
@@ -80,6 +88,7 @@ def make_cache_key(
         fingerprint,
         kind,
         solver,
+        backend,
         ctx.num_threads,
         ctx.seed,
         ctx.sanitize,

@@ -1,0 +1,43 @@
+"""R013 fixture: direct numpy kernel primitives inside a kernels/ path.
+
+Lines ending with ``# plant`` must fire; everything else must not.
+The directory name matters — R013 is path-scoped to ``kernels/``.
+"""
+
+import numpy as np
+
+from repro.backends import get_backend
+
+
+def histogram_bypassing_dispatch(seg_rows, clipped, total):
+    counts = np.bincount(seg_rows, minlength=total)  # plant
+    offsets = np.add.reduceat(clipped, seg_rows)  # plant
+    return counts, offsets
+
+
+def sort_family_bypassing_dispatch(values, seg_rows):
+    order = np.lexsort((-values, seg_rows))  # plant
+    ranked = np.sort(values)  # plant
+    picked = np.argsort(values, kind="stable")  # plant
+    where = np.searchsorted(ranked, 3)  # plant
+    survivors = np.count_nonzero(values > 0)  # plant
+    return order, ranked, picked, where, survivors
+
+
+def reference_kept_for_property_tests(values, seg_rows):
+    # The sanctioned escape hatch: justified inline suppression.
+    return np.lexsort((-values, seg_rows))  # repro-lint: disable=R013 (reference formulation)
+
+
+def glue_numpy_is_fine(starts, lengths):
+    # Shape casts, range arithmetic and cumsums are not dispatch-worthy.
+    starts = np.asarray(starts, dtype=np.int64)
+    out = np.ones(int(lengths.sum()), dtype=np.int64)
+    np.cumsum(out, out=out)
+    rows = np.repeat(np.arange(starts.size), lengths)
+    return np.concatenate([out, rows])
+
+
+def dispatched_path(graph, h):
+    # The intended shape: route the primitive through the backend.
+    return get_backend().sweep_values(graph, h)

@@ -26,7 +26,11 @@ RULE_FIXTURES = [
     ("R009", "r009_frontier.py"),
     ("R010", "r010_scratch_escape.py"),
     ("R011", "r011_memo_clone.py"),
+    # R013 is a pattern rule, not a dataflow rule, but it shares the
+    # planted-fixture workflow; it lives under a repro/kernels/
+    # directory because the rule is path-scoped.
     ("R012", "r012_report_ownership.py"),
+    ("R013", "repro/kernels/r013_backend_dispatch.py"),
 ]
 
 
@@ -173,3 +177,40 @@ class TestContractsManifest:
         for rec in project.contracts_manifest():
             assert rec["inferred"]["runtime"] == rec["declared"]["runtime"], rec
             assert rec["inferred"]["frontier"] == rec["declared"]["frontier"], rec
+
+
+class TestR013BackendDispatch:
+    """R013 is path-scoped: only kernels/ package files are in scope."""
+
+    BYPASS = "import numpy as np\ncounts = np.bincount(rows)\n"
+
+    def test_fires_inside_kernels_path(self):
+        findings = LintEngine(select=["R013"]).lint_source(
+            self.BYPASS, path="src/repro/kernels/segments.py"
+        )
+        assert [f.rule_id for f in findings] == ["R013"]
+        assert "bypasses the array-backend dispatch" in findings[0].message
+
+    def test_silent_outside_kernels_path(self):
+        for path in (
+            "src/repro/backends/numpy_backend.py",  # the raw home
+            "src/repro/core/pkmc.py",
+            "tests/kernels/test_segments.py",  # tests stay fair game
+        ):
+            assert LintEngine(select=["R013"]).lint_source(
+                self.BYPASS, path=path
+            ) == [], path
+
+    def test_ufunc_reduction_caught(self):
+        source = "import numpy as np\nout = np.add.reduceat(vals, ptr)\n"
+        findings = LintEngine(select=["R013"]).lint_source(
+            source, path="src/repro/kernels/density.py"
+        )
+        assert len(findings) == 1
+        assert "np.add.reduceat" in findings[0].message
+
+    def test_live_kernels_package_is_clean(self):
+        # The real package must satisfy its own rule (the reference
+        # lexsort carries a justified inline disable).
+        kernels = SRC_ROOT / "kernels"
+        assert LintEngine(select=["R013"]).lint_paths([kernels]) == []

@@ -1,0 +1,156 @@
+"""Bit-identity fuzz: every backend computes exactly the numpy reference.
+
+The backend contract is strict equality — same values, same dtype — not
+numerical closeness.  These tests drive the three :class:`~repro.
+backends.base.ArrayBackend` operations across the same graph menagerie
+the kernel suite uses (Chung–Lu, star, path, clique) with
+``inline_slot_cutoff=0`` so the multiproc backend cannot fall back to
+the in-process path: every comparison below crossed a process boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends.multiproc import MultiprocBackend
+from repro.backends.numpy_backend import NumpyBackend
+from repro.graph import chung_lu_undirected
+from repro.graph.undirected import UndirectedGraph
+
+
+def star_graph(n: int) -> UndirectedGraph:
+    hub = np.zeros(n - 1, dtype=np.int64)
+    leaves = np.arange(1, n, dtype=np.int64)
+    return UndirectedGraph.from_edges(n, np.stack([hub, leaves], axis=1))
+
+
+def path_graph(n: int) -> UndirectedGraph:
+    a = np.arange(n - 1, dtype=np.int64)
+    return UndirectedGraph.from_edges(n, np.stack([a, a + 1], axis=1))
+
+
+def clique_graph(n: int) -> UndirectedGraph:
+    a, b = np.triu_indices(n, k=1)
+    return UndirectedGraph.from_edges(n, np.stack([a, b], axis=1))
+
+
+GRAPHS = {
+    "chung_lu": lambda: chung_lu_undirected(900, 5_400, seed=13),
+    "star": lambda: star_graph(700),
+    "path": lambda: path_graph(800),
+    "clique": lambda: clique_graph(42),
+}
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return NumpyBackend()
+
+
+@pytest.fixture(scope="module")
+def multiproc():
+    backend = MultiprocBackend(workers=2, inline_slot_cutoff=0)
+    yield backend
+    backend.close()
+
+
+@pytest.fixture(scope="module", params=sorted(GRAPHS))
+def graph(request):
+    return GRAPHS[request.param]()
+
+
+def assert_identical(expected: np.ndarray, actual: np.ndarray):
+    assert expected.dtype == actual.dtype
+    assert expected.shape == actual.shape
+    assert np.array_equal(expected, actual)
+
+
+class TestSweepValues:
+    def test_full_sweep_bit_identical(self, graph, reference, multiproc):
+        h = graph.degrees().astype(np.int64)
+        assert_identical(
+            reference.sweep_values(graph, h), multiproc.sweep_values(graph, h)
+        )
+
+    def test_subset_sweeps_bit_identical(self, graph, reference, multiproc):
+        rng = np.random.default_rng(7)
+        h = graph.degrees().astype(np.int64)
+        n = graph.num_vertices
+        subsets = [
+            np.arange(n, dtype=np.int64),                 # everyone, by subset path
+            rng.choice(n, size=max(1, n // 3), replace=False),
+            np.array([0], dtype=np.int64),                # single vertex
+            np.array([n - 1, 0], dtype=np.int64),         # unsorted
+        ]
+        for subset in subsets:
+            subset = np.asarray(subset, dtype=np.int64)
+            assert_identical(
+                reference.sweep_values(graph, h, subset),
+                multiproc.sweep_values(graph, h, subset),
+            )
+
+    def test_iterated_to_fixed_point_bit_identical(self, graph, reference, multiproc):
+        def converge(backend):
+            h = graph.degrees().astype(np.int64)
+            sweeps = 0
+            while True:
+                new_h = backend.sweep_values(graph, h)
+                sweeps += 1
+                if np.array_equal(new_h, h):
+                    return h, sweeps
+                h = new_h
+
+        h_ref, sweeps_ref = converge(reference)
+        h_multi, sweeps_multi = converge(multiproc)
+        assert sweeps_ref == sweeps_multi
+        assert_identical(h_ref, h_multi)
+
+    def test_mid_iteration_values_bit_identical(self, graph, reference, multiproc):
+        # Not just the fixed point: every intermediate sweep must agree,
+        # otherwise iteration counts could diverge on other graphs.
+        h_ref = graph.degrees().astype(np.int64)
+        h_multi = h_ref.copy()
+        for _ in range(4):
+            h_ref = reference.sweep_values(graph, h_ref)
+            h_multi = multiproc.sweep_values(graph, h_multi)
+            assert_identical(h_ref, h_multi)
+
+
+class TestInducedEdgeCount:
+    def test_masks_bit_identical(self, graph, reference, multiproc):
+        rng = np.random.default_rng(3)
+        n = graph.num_vertices
+        masks = [
+            np.ones(n, dtype=bool),
+            np.zeros(n, dtype=bool),
+            rng.random(n) < 0.5,
+        ]
+        for member in masks:
+            assert reference.induced_edge_count(graph, member) == (
+                multiproc.induced_edge_count(graph, member)
+            )
+
+
+class TestSegmentFallback:
+    def test_generic_segments_match_reference(self, reference, multiproc):
+        # segment_h_index on the multiproc backend is a documented
+        # in-process fallback; it must still match bit for bit.
+        rng = np.random.default_rng(11)
+        lens = rng.integers(0, 9, size=300)
+        seg_ptr = np.zeros(lens.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=seg_ptr[1:])
+        values = rng.integers(0, 40, size=int(seg_ptr[-1]))
+        assert_identical(
+            reference.segment_h_index(seg_ptr, values),
+            multiproc.segment_h_index(seg_ptr, values),
+        )
+
+
+class TestWorkerCountInvariance:
+    def test_three_workers_match_two(self, graph, reference, multiproc):
+        h = graph.degrees().astype(np.int64)
+        expected = reference.sweep_values(graph, h)
+        other = MultiprocBackend(workers=3, inline_slot_cutoff=0)
+        try:
+            assert_identical(expected, other.sweep_values(graph, h))
+        finally:
+            other.close()

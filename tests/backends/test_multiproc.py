@@ -1,0 +1,190 @@
+"""Multiproc backend internals: worker-side state, pool lifecycle, splits.
+
+The load-bearing regression here is the frozen-CSR contract across the
+process boundary: workers must *rebuild* the lazy scratch buffers from
+the shared-memory CSR views (never unpickle parent state), and both the
+CSR views and the rebuilt scratch must come out read-only — the same
+guarantees lint rule R005 and ``tests/kernels/test_scratch.py`` pin for
+the single-process path.  ``MultiprocBackend.inspect_workers`` reports
+each worker's actual in-process view, so the assertions below are
+against live spawned workers, not a simulation.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.backends.multiproc import MultiprocBackend, _layout
+from repro.errors import BackendError
+from repro.graph import chung_lu_undirected
+
+
+@pytest.fixture()
+def backend():
+    instance = MultiprocBackend(workers=2, inline_slot_cutoff=0)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu_undirected(1_200, 6_000, seed=21)
+
+
+class TestWorkerState:
+    def test_workers_are_separate_processes(self, backend, graph):
+        reports = backend.inspect_workers(graph)
+        pids = {report["pid"] for report in reports}
+        assert len(reports) == 2
+        assert os.getpid() not in pids
+        assert len(pids) == 2
+
+    def test_csr_views_are_shared_memory_and_frozen(self, backend, graph):
+        for report in backend.inspect_workers(graph):
+            assert report["indptr_is_shm_view"]
+            assert report["indices_is_shm_view"]
+            assert report["indptr_writeable"] is False
+            assert report["indices_writeable"] is False
+
+    def test_scratch_rebuilt_locally_and_read_only(self, backend, graph):
+        # Populate the parent's scratch cache first: if worker graphs
+        # were pickled from the parent, this is exactly the stale state
+        # they would arrive with.
+        graph.heads()
+        graph.hindex_bins()
+        h = graph.degrees().astype(np.int64)
+        backend.sweep_values(graph, h)
+        for report in backend.inspect_workers(graph):
+            # The full-sweep path needs degrees/heads-free range layouts
+            # only; whatever scratch *was* built in the worker must be
+            # frozen, mirroring the parent-side contract.
+            for key, writeable in report["scratch_writeable"].items():
+                assert writeable is False, f"worker scratch {key!r} is writeable"
+            assert report["range_cache_keys"], "worker never cached a range layout"
+
+    def test_range_layouts_cached_across_sweeps(self, backend, graph):
+        h = graph.degrees().astype(np.int64)
+        backend.sweep_values(graph, h)
+        first = [r["range_cache_keys"] for r in backend.inspect_workers(graph)]
+        backend.sweep_values(graph, h)
+        second = [r["range_cache_keys"] for r in backend.inspect_workers(graph)]
+        assert first == second  # re-sweeping adds no new layouts
+
+
+class TestPoolLifecycle:
+    def test_close_then_reuse_respawns(self, backend, graph):
+        h = graph.degrees().astype(np.int64)
+        expected = backend.sweep_values(graph, h)
+        backend.close()
+        assert backend._procs == []
+        again = backend.sweep_values(graph, h)
+        assert np.array_equal(expected, again)
+
+    def test_close_is_idempotent(self, backend):
+        backend.close()
+        backend.close()
+
+    def test_graph_lru_evicts_and_stays_correct(self):
+        backend = MultiprocBackend(workers=2, inline_slot_cutoff=0)
+        try:
+            graphs = [
+                chung_lu_undirected(300, 1_200, seed=s) for s in range(9)
+            ]
+            expected = [
+                g.degrees().astype(np.int64) for g in graphs
+            ]
+            for g, h in zip(graphs, expected):
+                backend.sweep_values(g, h)
+            assert len(backend._graphs) == 8  # LRU cap
+            # The evicted (first) graph still computes correctly after
+            # re-publication.
+            h0 = expected[0]
+            from repro.backends.numpy_backend import sweep_values_numpy
+
+            assert np.array_equal(
+                backend.sweep_values(graphs[0], h0),
+                sweep_values_numpy(graphs[0], h0),
+            )
+        finally:
+            backend.close()
+
+    def test_worker_failure_raises_backend_error_and_resets(self, backend, graph):
+        backend._ensure_pool()
+        # An unknown task kind makes the worker answer with an error
+        # tuple; the pool must surface it as BackendError.
+        shared = backend._prepare(graph)
+        backend._seq += 1
+        backend._conns[0].send(("explode", shared.meta, 0, 1, backend._seq))
+        with pytest.raises(BackendError, match="unknown worker task"):
+            backend._collect([backend._conns[0]])
+
+
+class TestPerfAccounting:
+    def test_inline_cutoff_counts_inline_calls(self, graph):
+        backend = MultiprocBackend(workers=2, inline_slot_cutoff=10**9)
+        try:
+            h = graph.degrees().astype(np.int64)
+            backend.sweep_values(graph, h)
+            snapshot = backend.perf_snapshot()
+            assert snapshot["inline_calls"] == 1
+            assert snapshot["dispatched_calls"] == 0
+            assert backend._procs == []  # never spawned
+        finally:
+            backend.close()
+
+    def test_dispatch_accumulates_and_resets(self, backend, graph):
+        h = graph.degrees().astype(np.int64)
+        backend.sweep_values(graph, h)
+        snapshot = backend.perf_snapshot()
+        assert snapshot["dispatched_calls"] == 1
+        assert snapshot["tasks"] == 2
+        assert snapshot["elapsed_s"] > 0.0
+        assert snapshot["critical_s"] > 0.0
+        backend.reset_perf()
+        assert backend.perf_snapshot()["dispatched_calls"] == 0
+
+
+class TestBalancedBounds:
+    def test_balances_slot_mass_not_vertex_count(self):
+        # One hub with 1000 slots then 1000 single-slot vertices: an
+        # element split would give worker 0 half the vertices; the slot
+        # split isolates the hub.
+        degrees = np.concatenate([[1000], np.ones(1000, dtype=np.int64)])
+        cumulative = np.zeros(degrees.size + 1, dtype=np.int64)
+        np.cumsum(degrees, out=cumulative[1:])
+        bounds = MultiprocBackend._balanced_bounds(cumulative, 2)
+        assert bounds[0] == 0 and bounds[-1] == degrees.size
+        assert bounds[1] <= 1  # the hub alone saturates worker 0
+
+    def test_bounds_cover_range_monotonically(self):
+        rng = np.random.default_rng(2)
+        degrees = rng.integers(0, 50, size=777)
+        cumulative = np.zeros(degrees.size + 1, dtype=np.int64)
+        np.cumsum(degrees, out=cumulative[1:])
+        for parts in (1, 2, 3, 7):
+            bounds = MultiprocBackend._balanced_bounds(cumulative, parts)
+            assert bounds.size == parts + 1
+            assert bounds[0] == 0 and bounds[-1] == degrees.size
+            assert np.all(np.diff(bounds) >= 0)
+
+    def test_more_workers_than_vertices(self):
+        cumulative = np.array([0, 3, 5], dtype=np.int64)
+        bounds = MultiprocBackend._balanced_bounds(cumulative, 8)
+        assert bounds[0] == 0 and bounds[-1] == 2
+        assert np.all(np.diff(bounds) >= 0)
+
+
+class TestSharedLayout:
+    def test_layout_fields_are_eight_byte_aligned(self):
+        for dtype in (np.dtype(np.int32), np.dtype(np.int64)):
+            layout = _layout(1001, 4242, dtype)
+            for name, (offset, _, _) in layout.items():
+                if name == "__total__":  # total byte size, not a field
+                    continue
+                assert offset % 8 == 0, f"{name} misaligned at {offset}"
+
+    def test_h_block_uses_graph_index_dtype(self):
+        layout = _layout(10, 20, np.dtype(np.int32))
+        assert layout["h"][2] == np.dtype(np.int32)
+        assert layout["out"][2] == np.dtype(np.int64)

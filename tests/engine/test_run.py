@@ -107,6 +107,59 @@ class TestContextPropagation:
             run(spec, triangle_graph, ctx)
         assert ctx.runtime.sanitize
 
+    def test_sanitize_forwarded_as_kwarg_without_runtime(self, triangle_graph):
+        # Solvers that build their own runtime internally (the BSP
+        # cluster ports) declare supports_sanitize without
+        # supports_runtime; the engine must pass the flag as a kwarg.
+        with temp(supports_sanitize=True)(recording_solver()) as spec:
+            on = run(spec, triangle_graph, ExecutionContext(sanitize=True))
+            off = run(spec, triangle_graph, ExecutionContext())
+        assert on.seen["sanitize"] is True
+        assert "sanitize" not in off.seen  # default-off stays implicit
+
+
+class TestPkmcBspSanitize:
+    """Satellite pin: pkmc-bsp honors ExecutionContext(sanitize=True).
+
+    PR 6's contracts manifest flagged pkmc-bsp as declaring sanitize it
+    never received — the engine only forwarded the flag through a built
+    runtime, which cluster ports do not take.  Now the flag reaches the
+    solver as a kwarg and drives a local sanitizing SimRuntime, without
+    perturbing the cluster clock or the results.
+    """
+
+    def test_sanitized_run_matches_unsanitized(self, triangle_graph):
+        from repro.graph import chung_lu_undirected
+
+        graph = chung_lu_undirected(500, 2_000, seed=17)
+        ctx_plain = ExecutionContext()
+        ctx_clean = ExecutionContext(sanitize=True)
+        plain = run("pkmc-bsp", graph, ctx_plain)
+        clean = run("pkmc-bsp", graph, ctx_clean)
+        assert np.array_equal(plain.vertices, clean.vertices)
+        assert plain.density == clean.density
+        assert plain.iterations == clean.iterations
+        # Sanitizing replays sweeps on a local runtime; the simulated
+        # cluster clock must not move.
+        assert plain.simulated_seconds == clean.simulated_seconds
+
+    def test_declared_capability_matches_inferred(self):
+        # The regression PR 6 reported: declared != inferred for
+        # pkmc-bsp.  Keep the record mismatch-free.
+        from pathlib import Path
+
+        from repro.analysis.engine import LintEngine
+
+        src_root = Path(__file__).resolve().parents[2] / "src" / "repro"
+        project = LintEngine().build_project([src_root])
+        entry = next(
+            rec for rec in project.contracts_manifest()
+            if rec["name"] == "pkmc-bsp"
+        )
+        assert entry["declared"]["sanitize"] is True
+        assert entry["inferred"]["sanitize"] is True
+        assert entry["mismatches"] == []
+
 
 class TestRuntimeContract:
     def test_uncharged_runtime_is_an_engine_error(self, triangle_graph):
