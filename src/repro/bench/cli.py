@@ -36,7 +36,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment ids (exp1..exp8), 'kernels' (the kernel-layer "
             "bench-regression harness), 'store' (the storage-layer "
-            "harness), 'backends' (the array-backend harness) or 'all'; "
+            "harness), 'backends' (the array-backend harness), 'serve' "
+            "(the query-service traffic-replay harness) or 'all'; "
             "default: all"
         ),
     )
@@ -72,7 +73,8 @@ def _build_parser() -> argparse.ArgumentParser:
         const=_CHECK_DEFAULT,
         metavar="BASELINE_JSON",
         help=(
-            "with 'kernels', 'store' or 'backends': compare the fresh run "
+            "with 'kernels', 'store', 'backends' or 'serve': compare the "
+            "fresh run "
             "against the committed BENCH_*.json baseline and exit non-zero "
             "on regression; with 'all', run every harness against its "
             "committed baseline (bare --check uses the default file names)"
@@ -142,11 +144,22 @@ def _run_backends(args) -> int:
     )
 
 
+def _run_serve(args) -> int:
+    """Run the serving bench; write or check ``BENCH_serve.json``."""
+    from .serve import check_regression, render_serve_report, run_serve_bench
+
+    return _run_harness(
+        args, "serve", run_serve_bench, check_regression,
+        render_serve_report, "BENCH_serve.json",
+    )
+
+
 #: The bench-regression harnesses, in the order ``all --check`` runs them.
 _HARNESSES = (
     ("kernels", _run_kernels),
     ("store", _run_store),
     ("backends", _run_backends),
+    ("serve", _run_serve),
 )
 
 

@@ -9,6 +9,7 @@ from .registry import (
     load_directed,
     load_undirected,
 )
+from .synth import sample_zipf, zipf_weights
 
 __all__ = [
     "DatasetSpec",
@@ -18,4 +19,6 @@ __all__ = [
     "get_spec",
     "load_undirected",
     "load_directed",
+    "zipf_weights",
+    "sample_zipf",
 ]

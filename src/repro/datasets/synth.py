@@ -22,7 +22,54 @@ import numpy as np
 from ..graph.generators import chung_lu_undirected
 from ..graph.undirected import UndirectedGraph
 
-__all__ = ["clique_edges", "path_edges", "build_undirected_replica"]
+__all__ = [
+    "clique_edges",
+    "path_edges",
+    "build_undirected_replica",
+    "zipf_weights",
+    "sample_zipf",
+]
+
+
+def zipf_weights(num_items: int, exponent: float = 1.1) -> np.ndarray:
+    """Normalised Zipf probabilities over ranks ``0..num_items-1``.
+
+    Rank ``r`` (0-based) gets probability proportional to
+    ``1 / (r + 1) ** exponent`` — the classic heavy-head access law that
+    serving workloads exhibit (a few hot datasets/solvers absorb most
+    queries). ``exponent=0`` degenerates to the uniform distribution;
+    larger exponents concentrate more mass on the first ranks.
+    """
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    weights = (np.arange(1, num_items + 1, dtype=np.float64)) ** (-exponent)
+    return weights / weights.sum()
+
+
+def sample_zipf(
+    num_items: int,
+    size: int,
+    exponent: float = 1.1,
+    seed: int | np.random.Generator = 0,
+) -> np.ndarray:
+    """Seeded i.i.d. Zipf-distributed ranks in ``[0, num_items)``.
+
+    The workhorse of the traffic-replay benches (:mod:`repro.bench.serve`)
+    and the serving example: draw ``size`` item indices where rank 0 is
+    the hottest. Deterministic for a given ``(num_items, size, exponent,
+    seed)``; ``seed`` may be an integer or a pre-built
+    :class:`numpy.random.Generator` (advanced, shares a stream).
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    return rng.choice(num_items, size=size, p=zipf_weights(num_items, exponent))
 
 
 def clique_edges(vertices: np.ndarray) -> np.ndarray:

@@ -31,7 +31,7 @@ from ..store.memo import (
     enable_default_cache,
 )
 from .context import ExecutionContext
-from .report import RunReport
+from .report import RunReport, attach_serve_stats
 from .runner import registry_table, resolve_solver, run
 from .spec import (
     SolverSpec,
@@ -50,6 +50,7 @@ __all__ = [
     "enable_default_cache",
     "disable_default_cache",
     "RunReport",
+    "attach_serve_stats",
     "SolverSpec",
     "MethodsView",
     "run",

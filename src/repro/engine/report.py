@@ -19,7 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.simruntime import SimRuntime
     from .spec import SolverSpec
 
-__all__ = ["RunReport"]
+__all__ = ["RunReport", "attach_serve_stats"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,16 @@ class RunReport:
     re-running the solver.  ``backend`` is the resolved array backend
     (:mod:`repro.backends`) the run's kernels executed on; it affects
     wall-clock only — never results or simulated seconds.
+
+    The serve fields are zero outside :mod:`repro.serve`:
+    ``queue_wait_s`` is how long the query sat in the server's admission
+    queue before its flight started, ``batch_size`` how many queries
+    shared the graph-fingerprint batch that amortised CSR/scratch/
+    backend-segment setup, and ``coalesced`` how many queries were
+    answered by the one single-flight computation this report describes
+    (1 = no duplicate attached). They are stamped through
+    :func:`attach_serve_stats` — reports stay engine-owned (lint rule
+    R012) and the stamping never changes the solver-outcome fields.
     """
 
     solver: str
@@ -56,6 +66,9 @@ class RunReport:
     graph_memory_bytes: int = 0
     cache_hit: bool = False
     backend: str = "numpy"
+    queue_wait_s: float = 0.0
+    batch_size: int = 0
+    coalesced: int = 0
     breakdown: dict[str, float] = field(default_factory=dict)
 
     @classmethod
@@ -130,5 +143,42 @@ class RunReport:
             "graph_memory_bytes": self.graph_memory_bytes,
             "cache_hit": self.cache_hit,
             "backend": self.backend,
+            "queue_wait_s": self.queue_wait_s,
+            "batch_size": self.batch_size,
+            "coalesced": self.coalesced,
             "breakdown": dict(self.breakdown),
         }
+
+
+def attach_serve_stats(
+    result: Any,
+    queue_wait_s: float,
+    batch_size: int,
+    coalesced: int,
+) -> Any:
+    """Stamp serving-layer fields onto ``result``'s report, in place.
+
+    The one sanctioned way for :mod:`repro.serve` to annotate a response:
+    reports are engine-owned (lint rule R012 flags ``.report`` writes
+    outside ``repro/engine/``), so the server hands its per-query
+    queue-wait, batch and coalescing numbers to this helper instead of
+    rewriting the frozen dataclass itself.  Only the serve fields change
+    — the solver-outcome fields are untouched, so stripping the serve
+    fields back to their defaults recovers a report equal to what a
+    direct ``engine.run`` produced.  Returns ``result`` for chaining.
+    """
+    if result.report is None:
+        raise ValueError("attach_serve_stats needs an engine-attached report")
+    if queue_wait_s < 0:
+        raise ValueError("queue_wait_s must be non-negative")
+    if batch_size < 1 or coalesced < 1:
+        raise ValueError("batch_size and coalesced count this query: >= 1")
+    from dataclasses import replace
+
+    result.report = replace(
+        result.report,
+        queue_wait_s=queue_wait_s,
+        batch_size=batch_size,
+        coalesced=coalesced,
+    )
+    return result

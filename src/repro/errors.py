@@ -108,3 +108,26 @@ class SimMemoryLimitExceeded(SimulationError):
 
 class DatasetError(ReproError):
     """Raised for unknown dataset names or invalid dataset specifications."""
+
+
+class ServeRejected(ReproError):
+    """A query was shed by the serving layer's admission control.
+
+    Raised by :meth:`repro.serve.DsdServer.submit` when the bounded
+    request queue is full (``reason="queue_full"``) or the query's
+    tenant has exhausted its token-bucket quota (``reason="quota"``).
+    ``retry_after_s`` carries the earliest time (seconds from now) at
+    which retrying can succeed: the tenant bucket's next-token delay for
+    quota rejections, ``0.0`` for queue-full rejections (the queue frees
+    up as soon as the server drains).  Shedding is structured backpressure,
+    not failure — the query was never admitted, so no partial work exists.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float = 0.0, detail: str = ""):
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"query rejected: {reason}, retry after {retry_after_s:.3g}s{suffix}"
+        )
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+        self.detail = detail

@@ -1,0 +1,81 @@
+"""Seeded query-mix generators for traffic replay.
+
+Real serving traffic is never uniform: a few datasets and a few solvers
+absorb most queries (the query-reuse setting the serving layer is built
+to exploit).  :func:`build_query_mix` turns that observation into
+reproducible replay streams over the Zipf sampler from
+:func:`repro.datasets.synth.sample_zipf`:
+
+* ``"hot-graph"`` — dataset choice is Zipf-skewed, solver choice mildly
+  skewed: many users probing the same graph, the headline mix for
+  coalescing/caching and the bench's acceptance gate;
+* ``"hot-solver"`` — solver choice is Zipf-skewed across uniformly
+  chosen datasets: one popular algorithm fanned over many graphs;
+* ``"uniform"`` — independent uniform choices, the adversarial mix with
+  the least redundancy to exploit.
+
+Tenants are assigned round-robin so per-tenant quotas see interleaved
+traffic.  The same ``(mix, datasets, solvers, num_queries, seed)`` tuple
+always yields the same stream.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..datasets.synth import sample_zipf
+from .query import Query
+
+__all__ = ["QUERY_MIXES", "build_query_mix"]
+
+#: The replay mixes the serve bench (and CLI) understand.
+QUERY_MIXES = ("hot-graph", "hot-solver", "uniform")
+
+#: Skew of the hot dimension in a skewed mix; chosen so roughly half the
+#: probability mass lands on the first two ranks.
+_HOT_EXPONENT = 1.4
+#: Mild skew of the secondary dimension of ``hot-graph``.
+_WARM_EXPONENT = 0.8
+
+
+def build_query_mix(
+    mix: str,
+    datasets: Sequence[str],
+    solvers: Sequence[str],
+    num_queries: int,
+    seed: int = 0,
+    tenants: Sequence[str] = ("default",),
+) -> list[Query]:
+    """Return a deterministic stream of ``num_queries`` queries.
+
+    ``datasets``/``solvers`` are ordered hottest-first: rank 0 of the
+    Zipf draw maps to the first element.  ``tenants`` are assigned
+    round-robin over the stream.
+    """
+    if mix not in QUERY_MIXES:
+        raise ValueError(f"unknown mix {mix!r}; expected one of {QUERY_MIXES}")
+    if not datasets or not solvers or not tenants:
+        raise ValueError("datasets, solvers and tenants must be non-empty")
+    if num_queries < 0:
+        raise ValueError("num_queries must be non-negative")
+
+    if mix == "hot-graph":
+        graph_exp, solver_exp = _HOT_EXPONENT, _WARM_EXPONENT
+    elif mix == "hot-solver":
+        graph_exp, solver_exp = 0.0, _HOT_EXPONENT
+    else:  # uniform
+        graph_exp = solver_exp = 0.0
+    dataset_ranks = sample_zipf(
+        len(datasets), num_queries, exponent=graph_exp, seed=seed
+    )
+    solver_ranks = sample_zipf(
+        len(solvers), num_queries, exponent=solver_exp, seed=seed + 1
+    )
+    return [
+        Query(
+            dataset=datasets[int(dataset_ranks[i])],
+            solver=solvers[int(solver_ranks[i])],
+            tenant=tenants[i % len(tenants)],
+        )
+        for i in range(num_queries)
+    ]

@@ -6,11 +6,16 @@ serving workload the ROADMAP targets; with content-addressed graphs
 identity, context-relevant fields) fully determines a run's outcome, so
 the engine can answer from a bounded LRU cache instead of recomputing.
 
-Invalidation is structural, not temporal: a graph mutated through
-``DynamicKStarCore`` rebuilds its CSR arrays and therefore hashes to a
-new fingerprint — stale entries are never *wrong*, only unreachable
-until evicted. Cached results are cloned on every hit (arrays, extras
-and report included) so callers can never corrupt the cached copy.
+Invalidation is structural *and* optionally temporal: a graph mutated
+through ``DynamicKStarCore`` rebuilds its CSR arrays and therefore
+hashes to a new fingerprint — stale entries are never *wrong*, only
+unreachable until evicted — while a cache built with ``ttl=`` seconds
+additionally expires entries by insertion age, which the serving layer
+(:mod:`repro.serve`) uses to bound staleness of long-lived processes.
+Expiry consults an injectable monotonic ``clock`` so tests (and the
+simulated-concurrent server) drive it deterministically. Cached results
+are cloned on every hit (arrays, extras and report included) so callers
+can never corrupt the cached copy.
 
 Caching is opt-in: pass a :class:`ResultCache` via
 ``ExecutionContext(cache=...)`` or install a process-wide default with
@@ -21,8 +26,9 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import time
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from typing import Any, Callable, Hashable, Optional
 
 import numpy as np
 
@@ -119,25 +125,66 @@ def clone_result(result):
 
 
 class ResultCache:
-    """Bounded LRU cache of solver results keyed by :func:`make_cache_key`."""
+    """Bounded LRU cache of solver results keyed by :func:`make_cache_key`.
 
-    def __init__(self, max_entries: int = 128):
+    ``ttl`` (seconds) bounds the *insertion age* of a servable entry:
+    an entry older than ``ttl`` at lookup time is treated as a miss,
+    dropped, and counted in ``expired``. Age is measured by ``clock``, a
+    zero-argument monotonic-seconds callable — inject a fake for
+    deterministic expiry in tests; the default is the process monotonic
+    clock. ``ttl=None`` (the default) never expires, which is exactly
+    the pre-TTL behaviour: structural fingerprint invalidation plus LRU
+    capacity eviction.
+
+    TTL and LRU interact in two deliberate ways: a hit refreshes LRU
+    recency but *not* the insertion stamp (re-``put`` to re-arm), and
+    capacity overflow purges expired entries first so a dead entry can
+    never push out a live one.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 128,
+        ttl: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable)")
         self.max_entries = max_entries
+        self.ttl = ttl
+        # Real elapsed time is the whole point of a TTL; deterministic
+        # tests and the simulated-concurrent server inject their own
+        # clock instead of relying on this default.
+        self._clock = clock if clock is not None else time.monotonic  # repro-lint: disable=R001 (injectable TTL clock)
         self._entries: "OrderedDict[tuple, Any]" = OrderedDict()
+        self._stamps: "OrderedDict[tuple, float]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.expired = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _is_expired(self, key: tuple, now: float) -> bool:
+        """Whether ``key``'s entry has outlived the TTL at time ``now``."""
+        if self.ttl is None:
+            return False
+        return now - self._stamps[key] > self.ttl
+
     def get(self, key: Optional[tuple]):
-        """Return a cloned cached result, or None on miss."""
+        """Return a cloned cached result, or None on miss/expiry."""
         if key is None:
             return None
         cached = self._entries.get(key)
         if cached is None:
+            self.misses += 1
+            return None
+        if self._is_expired(key, self._clock()):
+            del self._entries[key]
+            del self._stamps[key]
+            self.expired += 1
             self.misses += 1
             return None
         self._entries.move_to_end(key)
@@ -145,19 +192,44 @@ class ResultCache:
         return clone_result(cached)
 
     def put(self, key: Optional[tuple], result) -> None:
-        """Store a cloned result, evicting the least recently used."""
+        """Store a cloned result, evicting expired then least-recent entries."""
         if key is None:
             return
+        now = self._clock()
         self._entries[key] = clone_result(result)
         self._entries.move_to_end(key)
+        self._stamps[key] = now
+        if len(self._entries) > self.max_entries:
+            self.purge_expired(now=now)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            del self._stamps[evicted]
+
+    def purge_expired(self, now: Optional[float] = None) -> int:
+        """Drop every expired entry eagerly; return how many were dropped.
+
+        A no-op (returning 0) on caches without a TTL. ``now`` defaults
+        to the cache's clock — pass it to keep one consistent timestamp
+        across a batch of cache operations.
+        """
+        if self.ttl is None:
+            return 0
+        if now is None:
+            now = self._clock()
+        dead = [key for key in self._entries if self._is_expired(key, now)]
+        for key in dead:
+            del self._entries[key]
+            del self._stamps[key]
+        self.expired += len(dead)
+        return len(dead)
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss/expired counters."""
         self._entries.clear()
+        self._stamps.clear()
         self.hits = 0
         self.misses = 0
+        self.expired = 0
 
 
 _DEFAULT_CACHE: Optional[ResultCache] = None
@@ -168,10 +240,31 @@ def get_default_cache() -> Optional[ResultCache]:
     return _DEFAULT_CACHE
 
 
-def enable_default_cache(max_entries: int = 128) -> ResultCache:
-    """Install (or resize) the process-wide default result cache."""
+def enable_default_cache(
+    max_entries: int = 128, ttl: Optional[float] = None
+) -> ResultCache:
+    """Install the process-wide default result cache, idempotently.
+
+    When a default cache is already installed *with the same shape*
+    (equal ``max_entries`` and ``ttl``), that cache is returned
+    unchanged — its entries and hit/miss counters survive, so a library
+    that re-enables caching mid-session cannot silently drop another
+    component's warm entries. Requesting a *different* shape is an
+    explicit reconfiguration: the old cache (and everything in it) is
+    replaced by a fresh one. Callers holding the old object keep a
+    working private cache; only the process-wide default moves.
+    Per-:class:`~repro.engine.context.ExecutionContext` caches are
+    independent of the default and are never touched by this function.
+    """
     global _DEFAULT_CACHE
-    _DEFAULT_CACHE = ResultCache(max_entries=max_entries)
+    existing = _DEFAULT_CACHE
+    if (
+        existing is not None
+        and existing.max_entries == max_entries
+        and existing.ttl == ttl
+    ):
+        return existing
+    _DEFAULT_CACHE = ResultCache(max_entries=max_entries, ttl=ttl)
     return _DEFAULT_CACHE
 
 

@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.core import pkmc
-from repro.datasets.synth import build_undirected_replica, clique_edges, path_edges
+from repro.datasets.synth import (
+    build_undirected_replica,
+    clique_edges,
+    path_edges,
+    sample_zipf,
+    zipf_weights,
+)
 
 
 class TestPieces:
@@ -70,3 +76,45 @@ class TestReplicaComposition:
             seed=5,
         )
         assert build_undirected_replica(**kwargs) == build_undirected_replica(**kwargs)
+
+
+class TestZipfSampler:
+    def test_weights_normalised_and_monotone(self):
+        weights = zipf_weights(10, exponent=1.2)
+        assert weights.shape == (10,)
+        assert abs(weights.sum() - 1.0) < 1e-12
+        assert np.all(np.diff(weights) < 0)  # rank 0 is the hottest
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(8, exponent=0.0)
+        assert np.allclose(weights, 1.0 / 8)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(4, exponent=-1.0)
+        with pytest.raises(ValueError):
+            sample_zipf(4, size=-1)
+
+    def test_sampling_is_seeded_and_deterministic(self):
+        a = sample_zipf(12, 500, exponent=1.1, seed=42)
+        b = sample_zipf(12, 500, exponent=1.1, seed=42)
+        c = sample_zipf(12, 500, exponent=1.1, seed=43)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_samples_are_in_range_and_skewed(self):
+        draws = sample_zipf(20, 2000, exponent=1.5, seed=7)
+        assert draws.min() >= 0 and draws.max() < 20
+        counts = np.bincount(draws, minlength=20)
+        # The hot head must dominate: rank 0 alone beats the tail half.
+        assert counts[0] > counts[10:].sum()
+
+    def test_generator_seed_shares_a_stream(self):
+        rng = np.random.default_rng(3)
+        first = sample_zipf(6, 50, seed=rng)
+        second = sample_zipf(6, 50, seed=rng)
+        assert not np.array_equal(first, second)  # stream advanced
+        replay = np.random.default_rng(3)
+        assert np.array_equal(first, sample_zipf(6, 50, seed=replay))

@@ -1,0 +1,54 @@
+"""The ``repro-serve`` entry point: replay output and option handling."""
+
+import pytest
+
+from repro.serve.cli import main
+
+
+@pytest.fixture(scope="module")
+def replay_output():
+    import io
+    from contextlib import redirect_stdout
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        status = main(["--num-queries", "6", "--wave", "3", "--seed", "1"])
+    return status, buffer.getvalue()
+
+
+class TestServeCli:
+    def test_exit_code_and_header(self, replay_output):
+        status, text = replay_output
+        assert status == 0
+        assert "replaying 6 'hot-graph' queries in waves of 3" in text
+
+    def test_reports_serving_metadata_per_response(self, replay_output):
+        _, text = replay_output
+        assert "coalesced=" in text
+        assert "batch=" in text
+        assert "cache_hit=" in text
+
+    def test_reports_summary_counters(self, replay_output):
+        _, text = replay_output
+        assert "served 6/6" in text
+        assert "cache: hits=" in text
+
+    def test_shed_queries_are_printed_not_raised(self, capsys):
+        status = main(
+            [
+                "--num-queries", "6", "--wave", "6",
+                "--max-queue-depth", "2", "--solvers", "charikar",
+                "--datasets", "PT",
+            ]
+        )
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "SHED" in text
+        assert "reason=queue_full" in text
+
+    def test_invalid_sizes_rejected(self, capsys):
+        assert main(["--num-queries", "0"]) == 2
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--mix", "nope"])

@@ -1,0 +1,59 @@
+"""Zipf query-mix generation: determinism, skew shape and validation."""
+
+from collections import Counter
+
+import pytest
+
+from repro.serve import QUERY_MIXES, Query, build_query_mix
+
+DATASETS = ["hot", "warm", "cold"]
+SOLVERS = ["pkmc", "charikar", "local"]
+
+
+class TestBuildQueryMix:
+    @pytest.mark.parametrize("mix", QUERY_MIXES)
+    def test_deterministic_per_seed(self, mix):
+        first = build_query_mix(mix, DATASETS, SOLVERS, 50, seed=3)
+        second = build_query_mix(mix, DATASETS, SOLVERS, 50, seed=3)
+        assert first == second
+        assert build_query_mix(mix, DATASETS, SOLVERS, 50, seed=4) != first
+
+    def test_returns_queries_over_the_given_names(self):
+        queries = build_query_mix("uniform", DATASETS, SOLVERS, 30, seed=0)
+        assert len(queries) == 30
+        assert all(isinstance(q, Query) for q in queries)
+        assert {q.dataset for q in queries} <= set(DATASETS)
+        assert {q.solver for q in queries} <= set(SOLVERS)
+
+    def test_hot_graph_mix_concentrates_datasets(self):
+        queries = build_query_mix("hot-graph", DATASETS, SOLVERS, 400, seed=0)
+        counts = Counter(q.dataset for q in queries)
+        # Rank 0 is hottest-first by contract and must dominate the tail.
+        assert counts["hot"] > counts["cold"]
+        assert counts["hot"] > 400 / len(DATASETS)
+
+    def test_hot_solver_mix_concentrates_solvers(self):
+        queries = build_query_mix("hot-solver", DATASETS, SOLVERS, 400, seed=0)
+        solver_counts = Counter(q.solver for q in queries)
+        dataset_counts = Counter(q.dataset for q in queries)
+        assert solver_counts["pkmc"] > solver_counts["local"]
+        # Datasets stay roughly uniform in this mix.
+        assert max(dataset_counts.values()) < 2 * min(dataset_counts.values())
+
+    def test_tenants_assigned_round_robin(self):
+        queries = build_query_mix(
+            "uniform", DATASETS, SOLVERS, 6, seed=0, tenants=("a", "b", "c")
+        )
+        assert [q.tenant for q in queries] == ["a", "b", "c", "a", "b", "c"]
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="unknown mix"):
+            build_query_mix("spicy", DATASETS, SOLVERS, 10)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            build_query_mix("uniform", [], SOLVERS, 10)
+        with pytest.raises(ValueError):
+            build_query_mix("uniform", DATASETS, SOLVERS, 10, tenants=())
+        with pytest.raises(ValueError):
+            build_query_mix("uniform", DATASETS, SOLVERS, -1)

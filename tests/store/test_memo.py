@@ -187,3 +187,164 @@ class TestEngineIntegration:
         ctx.runtime = SimRuntime(num_threads=2)
         engine_run("pkmc", graph, ctx)
         assert len(cache) == 0
+
+
+class FakeClock:
+    """Deterministic monotonic clock for TTL tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTtl:
+    def test_rejects_non_positive_ttl(self):
+        with pytest.raises(ValueError):
+            ResultCache(ttl=0.0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl=-1.0)
+
+    def test_entry_expires_after_ttl(self, graph):
+        clock = FakeClock()
+        cache = ResultCache(ttl=10.0, clock=clock)
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("k",), result)
+        clock.advance(10.0)  # exactly at the TTL: still servable
+        assert cache.get(("k",)) is not None
+        clock.advance(0.5)  # past it: expired
+        assert cache.get(("k",)) is None
+        assert cache.expired == 1
+        assert len(cache) == 0
+
+    def test_expiry_counts_as_a_miss(self, graph):
+        clock = FakeClock()
+        cache = ResultCache(ttl=1.0, clock=clock)
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("k",), result)
+        cache.get(("k",))
+        clock.advance(2.0)
+        cache.get(("k",))
+        assert (cache.hits, cache.misses, cache.expired) == (1, 1, 1)
+
+    def test_hit_refreshes_lru_but_not_the_stamp(self, graph):
+        clock = FakeClock()
+        cache = ResultCache(ttl=10.0, clock=clock)
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("k",), result)
+        for _ in range(5):
+            clock.advance(3.0)
+            cache.get(("k",))  # repeated hits do not re-arm the TTL
+        assert cache.get(("k",)) is None  # age 15s > ttl 10s
+        assert cache.expired == 1
+
+    def test_re_put_rearms_the_ttl(self, graph):
+        clock = FakeClock()
+        cache = ResultCache(ttl=10.0, clock=clock)
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("k",), result)
+        clock.advance(8.0)
+        cache.put(("k",), result)
+        clock.advance(8.0)  # 16s since first put, 8s since re-put
+        assert cache.get(("k",)) is not None
+
+    def test_overflow_purges_expired_before_live(self, graph):
+        clock = FakeClock()
+        cache = ResultCache(max_entries=2, ttl=5.0, clock=clock)
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("dead",), result)
+        clock.advance(6.0)
+        cache.put(("live",), result)
+        # "dead" has expired; inserting a third entry must evict it, not
+        # the LRU-oldest *live* entry.
+        cache.put(("newer",), result)
+        assert cache.get(("live",)) is not None
+        assert cache.get(("newer",)) is not None
+        assert cache.get(("dead",)) is None
+        assert cache.expired == 1
+
+    def test_purge_expired_is_eager_and_counted(self, graph):
+        clock = FakeClock()
+        cache = ResultCache(ttl=1.0, clock=clock)
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("a",), result)
+        cache.put(("b",), result)
+        clock.advance(2.0)
+        assert cache.purge_expired() == 2
+        assert (len(cache), cache.expired) == (0, 2)
+        assert ResultCache().purge_expired() == 0  # no TTL: no-op
+
+    def test_no_ttl_never_expires(self, graph):
+        clock = FakeClock()
+        cache = ResultCache(clock=clock)
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("k",), result)
+        clock.advance(1e9)
+        assert cache.get(("k",)) is not None
+        assert cache.expired == 0
+
+    def test_clear_resets_expired_counter(self, graph):
+        clock = FakeClock()
+        cache = ResultCache(ttl=1.0, clock=clock)
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put(("k",), result)
+        clock.advance(2.0)
+        cache.get(("k",))
+        cache.clear()
+        assert (cache.hits, cache.misses, cache.expired) == (0, 0, 0)
+
+    def test_engine_run_treats_expired_as_cold(self, graph):
+        clock = FakeClock()
+        cache = ResultCache(ttl=10.0, clock=clock)
+        warm = engine_run("pkmc", graph, ExecutionContext(cache=cache))
+        hit = engine_run("pkmc", graph, ExecutionContext(cache=cache))
+        assert hit.report.cache_hit
+        clock.advance(11.0)
+        refreshed = engine_run("pkmc", graph, ExecutionContext(cache=cache))
+        assert not refreshed.report.cache_hit
+        assert refreshed.density == warm.density  # repro-lint: disable=R004 (recompute of identical input)
+
+
+class TestDefaultCacheLifecycle:
+    def teardown_method(self):
+        disable_default_cache()
+
+    def test_compatible_reenable_returns_existing_cache(self, graph):
+        first = enable_default_cache(max_entries=8)
+        warm = engine_run("pkmc", graph, ExecutionContext())
+        hit = engine_run("pkmc", graph, ExecutionContext())
+        assert hit.report.cache_hit
+        again = enable_default_cache(max_entries=8)
+        assert again is first  # entries and counters survive
+        assert len(again) == 1
+        still_hit = engine_run("pkmc", graph, ExecutionContext())
+        assert still_hit.report.cache_hit
+        assert still_hit.density == warm.density  # repro-lint: disable=R004 (cache hits must be bit-identical clones)
+
+    def test_incompatible_reenable_replaces_the_cache(self, graph):
+        first = enable_default_cache(max_entries=8)
+        engine_run("pkmc", graph, ExecutionContext())
+        second = enable_default_cache(max_entries=16)
+        assert second is not first
+        assert get_default_cache() is second
+        assert len(second) == 0  # documented: reshaping drops the entries
+        assert len(first) == 1  # the old object still works privately
+
+    def test_ttl_shape_participates_in_compatibility(self):
+        first = enable_default_cache(max_entries=8, ttl=5.0)
+        assert enable_default_cache(max_entries=8, ttl=5.0) is first
+        assert enable_default_cache(max_entries=8, ttl=9.0) is not first
+
+    def test_context_cache_shadows_default_and_survives_disable(self, graph):
+        enable_default_cache(max_entries=8)
+        private = ResultCache()
+        engine_run("pkmc", graph, ExecutionContext(cache=private))
+        assert len(private) == 1
+        assert len(get_default_cache()) == 0  # ctx cache shadowed it
+        disable_default_cache()
+        hit = engine_run("pkmc", graph, ExecutionContext(cache=private))
+        assert hit.report.cache_hit  # per-context caches outlive the default

@@ -43,6 +43,15 @@ def test_fake_follower_example_runs(capsys):
     assert "100%" in out  # the ring is recovered exactly
 
 
+def test_serve_traffic_example_runs(capsys):
+    runpy.run_path(
+        str(EXAMPLES_DIR / "serve_traffic.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "queries answered by" in out
+    assert "queue never grew past" in out
+
+
 def test_distributed_example_runs(capsys):
     runpy.run_path(
         str(EXAMPLES_DIR / "distributed_study.py"), run_name="__main__"
