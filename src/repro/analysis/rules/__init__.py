@@ -2,8 +2,8 @@
 
 Each rule is a small :class:`~repro.analysis.engine.Rule` visitor with an
 id, severity, and fix hint; ``DEFAULT_RULES`` is the registry the engine
-and the ``repro-lint`` CLI load.  R001–R006 and R013 are single-node
-pattern rules living in this package; R007–R012 are the dataflow
+and the ``repro-lint`` CLI load.  R001–R006, R013 and R014 are
+single-node pattern rules living in this package; R007–R012 are the dataflow
 contract rules from :mod:`repro.analysis.contracts`.  The catalogue,
 with rationale and examples, is documented in
 ``docs/static_analysis.md``.
@@ -23,6 +23,7 @@ from .docstrings import PublicDocstringRule
 from .exceptions import ExceptionHygieneRule
 from .float_compare import FloatDensityCompareRule
 from .registry import SolverRegistryRule
+from .shard_access import ShardAccessRule
 
 DEFAULT_RULES = (
     DeterminismRule,
@@ -33,11 +34,12 @@ DEFAULT_RULES = (
     SolverRegistryRule,
     *CONTRACT_RULES,
     BackendDispatchRule,
+    ShardAccessRule,
 )
 
 
 def rule_range(rules=DEFAULT_RULES) -> str:
-    """The advertised id range of a rule registry, e.g. ``"R001-R013"``."""
+    """The advertised id range of a rule registry, e.g. ``"R001-R014"``."""
     ids = sorted(rule.rule_id for rule in rules)
     if not ids:
         return ""
@@ -49,6 +51,7 @@ def rule_range(rules=DEFAULT_RULES) -> str:
 __all__ = [
     "DEFAULT_RULES",
     "BackendDispatchRule",
+    "ShardAccessRule",
     "DeterminismRule",
     "ExceptionHygieneRule",
     "PublicDocstringRule",

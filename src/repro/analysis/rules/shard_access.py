@@ -1,0 +1,95 @@
+"""R014 — shard ``.npz`` members are opened only by the shard store.
+
+:mod:`repro.store.shard` owns the on-disk sharded layout: per-shard
+``shard_*.npz`` files whose members are mmap-loaded, budget-accounted
+and fingerprint-verified behind the :class:`ShardedGraph` facade.  Any
+other code that opens a shard file directly — ``np.load``,
+``np.memmap``, ``zipfile.ZipFile`` or a bare ``open`` on a
+``shard_*.npz`` path — bypasses the facade's memory budget, its
+eviction accounting *and* the manifest fingerprint chain, so a stale or
+tampered shard would be read without detection and the resident-bytes
+guarantee silently breaks.
+
+The rule is path-scoped: files under ``repro/store/shard`` (the facade
+and any siblings it grows) are exempt; everywhere else a call that opens
+something with a ``shard_``-named ``.npz`` literal in its arguments is
+flagged.  Deliberate low-level access in tests or fixtures carries an
+inline ``# repro-lint: disable=R014`` with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import Rule
+
+__all__ = ["ShardAccessRule"]
+
+# Names the numpy module is commonly bound to.
+_NUMPY_ALIASES = {"np", "numpy"}
+
+# numpy entry points that open (or rewrite) an .npz container.
+_NUMPY_OPENERS = {"load", "memmap", "savez", "savez_compressed"}
+
+# Call names that open files regardless of module: builtins and zipfile.
+_BARE_OPENERS = {"open"}
+_ZIPFILE_OPENERS = {"ZipFile"}
+
+
+def _string_constants(node: ast.expr):
+    """Yield every string literal inside ``node`` (f-string pieces too)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            yield sub.value
+
+
+def _mentions_shard_file(node: ast.Call) -> bool:
+    """Whether any argument carries a ``shard_*.npz``-looking literal."""
+    for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+        for text in _string_constants(arg):
+            if "shard_" in text and (".npz" in text or text.endswith("_")):
+                return True
+    return False
+
+
+def _opener_name(node: ast.Call) -> str | None:
+    """The dotted name of a file-opening callee, or ``None``."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _BARE_OPENERS:
+        return func.id
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id in _NUMPY_ALIASES and func.attr in _NUMPY_OPENERS:
+                return f"{value.id}.{func.attr}"
+            if value.id == "zipfile" and func.attr in _ZIPFILE_OPENERS:
+                return f"zipfile.{func.attr}"
+    return None
+
+
+class ShardAccessRule(Rule):
+    """R014: shard ``.npz`` members are read only via ``ShardedGraph``."""
+
+    rule_id = "R014"
+    title = "shard files are opened only through the ShardedGraph facade"
+    severity = "error"
+    fix_hint = (
+        "go through repro.store.shard (load_sharded / ShardedGraph.shard); "
+        "direct np.load / open on shard_*.npz skips the memory budget and "
+        "the manifest fingerprint chain"
+    )
+
+    def _in_scope(self) -> bool:
+        return "repro/store/shard" not in self.context.posix_path
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag file-opening calls aimed at a ``shard_*.npz`` literal."""
+        if self._in_scope():
+            opener = _opener_name(node)
+            if opener is not None and _mentions_shard_file(node):
+                self.report(
+                    node,
+                    f"`{opener}` on a shard .npz bypasses the ShardedGraph "
+                    "facade (memory budget + fingerprint chain)",
+                )
+        self.generic_visit(node)

@@ -37,8 +37,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "experiment ids (exp1..exp8), 'kernels' (the kernel-layer "
             "bench-regression harness), 'store' (the storage-layer "
             "harness), 'backends' (the array-backend harness), 'serve' "
-            "(the query-service traffic-replay harness) or 'all'; "
-            "default: all"
+            "(the query-service traffic-replay harness), 'shard' (the "
+            "sharded out-of-core engine harness) or 'all'; default: all"
         ),
     )
     parser.add_argument(
@@ -73,8 +73,8 @@ def _build_parser() -> argparse.ArgumentParser:
         const=_CHECK_DEFAULT,
         metavar="BASELINE_JSON",
         help=(
-            "with 'kernels', 'store', 'backends' or 'serve': compare the "
-            "fresh run "
+            "with 'kernels', 'store', 'backends', 'serve' or 'shard': "
+            "compare the fresh run "
             "against the committed BENCH_*.json baseline and exit non-zero "
             "on regression; with 'all', run every harness against its "
             "committed baseline (bare --check uses the default file names)"
@@ -154,12 +154,23 @@ def _run_serve(args) -> int:
     )
 
 
+def _run_shard(args) -> int:
+    """Run the sharded-engine bench; write or check ``BENCH_shard.json``."""
+    from .shard import check_regression, render_shard_report, run_shard_bench
+
+    return _run_harness(
+        args, "shard", run_shard_bench, check_regression,
+        render_shard_report, "BENCH_shard.json",
+    )
+
+
 #: The bench-regression harnesses, in the order ``all --check`` runs them.
 _HARNESSES = (
     ("kernels", _run_kernels),
     ("store", _run_store),
     ("backends", _run_backends),
     ("serve", _run_serve),
+    ("shard", _run_shard),
 )
 
 

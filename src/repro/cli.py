@@ -106,6 +106,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "bit-identical across backends",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="P",
+        help="partition the input into P vertex shards (written next to "
+        "the input as <path>.shards<P>/) and run out-of-core through the "
+        "ShardedGraph facade; results are bit-identical to monolithic",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="hard cap on resident shard bytes for sharded runs (with "
+        "--shards or a sharded-snapshot directory input)",
+    )
+    parser.add_argument(
         "--top-component",
         action="store_true",
         help="report only the densest connected component of the answer "
@@ -147,18 +164,51 @@ def _format_members(labels: list | None, ids, limit: int) -> str:
     return "{" + ", ".join(names) + suffix + "}"
 
 
+def _check_directed(args, is_directed: bool, what: str) -> None:
+    if is_directed != args.directed:
+        stored = "directed" if is_directed else "undirected"
+        flag = "--directed" if args.directed else "no --directed flag"
+        raise EngineError(
+            f"{what} {args.path} holds a {stored} graph, "
+            f"which conflicts with {flag}"
+        )
+
+
 def _load_graph(args):
-    """Load the input graph; returns ``(graph, labels_or_None)``."""
+    """Load the input graph; returns ``(graph, labels_or_None)``.
+
+    A directory input must be a sharded snapshot (``manifest.json``
+    present) and loads straight through the budgeted facade; a file
+    input with ``--shards P`` is sharded next to itself as
+    ``<path>.shards<P>/`` and reopened the same way.
+    """
+    from pathlib import Path
+
+    from .store.shard import MANIFEST_NAME, load_sharded, save_sharded
+
+    in_path = Path(str(args.path))
+    if in_path.is_dir():
+        if not (in_path / MANIFEST_NAME).is_file():
+            raise EngineError(
+                f"{args.path} is a directory without a shard "
+                f"{MANIFEST_NAME}; pass an edge list, a .npz snapshot or "
+                "a sharded snapshot directory"
+            )
+        graph = load_sharded(
+            in_path, memory_budget_bytes=args.memory_budget
+        )
+        _check_directed(args, graph.kind == "directed", "sharded snapshot")
+        if args.save_snapshot is not None:
+            save_npz(graph.to_graph(), args.save_snapshot)
+        return graph, None
+    if args.memory_budget is not None and args.shards is None:
+        raise EngineError(
+            "--memory-budget needs --shards (or a sharded-snapshot "
+            "directory input)"
+        )
     if str(args.path).endswith(".npz"):
         graph = load_npz(args.path)
-        is_directed = isinstance(graph, DirectedGraph)
-        if is_directed != args.directed:
-            stored = "directed" if is_directed else "undirected"
-            flag = "--directed" if args.directed else "no --directed flag"
-            raise EngineError(
-                f"snapshot {args.path} holds a {stored} graph, "
-                f"which conflicts with {flag}"
-            )
+        _check_directed(args, isinstance(graph, DirectedGraph), "snapshot")
         labels = None
     elif args.directed:
         graph, labels = read_directed_edgelist(
@@ -170,6 +220,12 @@ def _load_graph(args):
         )
     if args.save_snapshot is not None:
         save_npz(graph, args.save_snapshot)
+    if args.shards is not None:
+        directory = Path(f"{args.path}.shards{args.shards}")
+        save_sharded(graph, directory, shards=args.shards)
+        graph = load_sharded(
+            directory, memory_budget_bytes=args.memory_budget
+        )
     return graph, labels
 
 
@@ -217,7 +273,10 @@ def main(argv: list[str] | None = None) -> int:
             vertices = result.vertices
             density = result.density
             if args.top_component:
-                vertices, density = densest_component(graph, vertices)
+                component_graph = (
+                    graph.to_graph() if hasattr(graph, "num_shards") else graph
+                )
+                vertices, density = densest_component(component_graph, vertices)
             print(f"graph   : {graph}")
             print(f"method  : {result.algorithm}")
             print(f"density : {density:.6g}")
@@ -229,6 +288,10 @@ def main(argv: list[str] | None = None) -> int:
         if report.simulated_seconds:
             print(f"simulated time ({args.threads} threads): "
                   f"{report.simulated_seconds:.6g} s")
+        if report.shards:
+            print(f"shards  : {report.shards}  loads={report.shard_loads}  "
+                  f"peak_resident={report.peak_resident_bytes}B  "
+                  f"boundary_exchange={report.boundary_messages_bytes}B")
         if args.sanitize:
             runtime = ctx.runtime
             reports = (

@@ -188,7 +188,10 @@ def load_directed(abbr: str) -> DirectedGraph:
 
 
 def load_cached(
-    abbr: str, cache_dir: Union[str, Path]
+    abbr: str,
+    cache_dir: Union[str, Path],
+    shards: int | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> UndirectedGraph | DirectedGraph:
     """Disk-cached replica load backed by binary snapshots.
 
@@ -197,12 +200,22 @@ def load_cached(
     fresh processes — mmap-load the snapshot instead of regenerating,
     which is the fast path for repeated experiment runs. A corrupt or
     stale snapshot is deleted and rebuilt.
+
+    ``shards=P`` returns a budgeted out-of-core
+    :class:`~repro.store.shard.ShardedGraph` instead, cached as its own
+    ``<abbr>.shards<P>/`` directory next to the monolithic snapshot (the
+    two fingerprints agree, so they share engine memo entries);
+    ``memory_budget_bytes`` caps the facade's resident shard bytes.
     """
     from ..store.snapshot import load_snapshot, save_snapshot
 
     spec = get_spec(abbr)
     cache_dir = Path(cache_dir)
     cache_dir.mkdir(parents=True, exist_ok=True)
+    if shards is not None:
+        return _load_cached_sharded(
+            abbr, cache_dir, shards, memory_budget_bytes
+        )
     path = cache_dir / f"{abbr}.npz"
     if path.exists():
         try:
@@ -216,3 +229,27 @@ def load_cached(
     )
     save_snapshot(graph, path)
     return graph
+
+
+def _load_cached_sharded(
+    abbr: str,
+    cache_dir: Path,
+    shards: int,
+    memory_budget_bytes: int | None,
+):
+    """The ``shards=P`` arm of :func:`load_cached` (rebuild-on-corrupt)."""
+    import shutil
+
+    from ..store.shard import load_sharded, save_sharded
+
+    directory = cache_dir / f"{abbr}.shards{shards}"
+    if directory.exists():
+        try:
+            return load_sharded(
+                directory, memory_budget_bytes=memory_budget_bytes
+            )
+        except GraphFormatError:
+            shutil.rmtree(directory)  # corrupt shard cache: rebuild below
+    graph = load_cached(abbr, cache_dir)
+    save_sharded(graph, directory, shards=shards)
+    return load_sharded(directory, memory_budget_bytes=memory_budget_bytes)

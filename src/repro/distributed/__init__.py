@@ -11,5 +11,21 @@ be studied quantitatively.  See ``examples/distributed_study.py``.
 from .cluster import BSPCluster, ClusterConfig, Partition
 from .pkmc_bsp import distributed_pkmc
 from .pwc_bsp import distributed_pwc
+from .sharded import (
+    ShardedBSPAccountant,
+    ShardedPartition,
+    sharded_pkmc,
+    sharded_pwc,
+)
 
-__all__ = ["BSPCluster", "ClusterConfig", "Partition", "distributed_pkmc", "distributed_pwc"]
+__all__ = [
+    "BSPCluster",
+    "ClusterConfig",
+    "Partition",
+    "ShardedBSPAccountant",
+    "ShardedPartition",
+    "distributed_pkmc",
+    "distributed_pwc",
+    "sharded_pkmc",
+    "sharded_pwc",
+]

@@ -47,7 +47,7 @@ def _cross_neighbor_counts(graph: UndirectedGraph, owner: np.ndarray) -> np.ndar
 
 @register_solver(
     "pkmc-bsp", kind="uds", guarantee="2-approx", cost="bsp",
-    supports_cluster=True, supports_sanitize=True,
+    supports_cluster=True, supports_sanitize=True, supports_shards=True,
 )
 def distributed_pkmc(
     graph: UndirectedGraph,
@@ -71,7 +71,25 @@ def distributed_pkmc(
     is the kwarg the engine forwards for ``repro-dsd --sanitize``
     (declared ``supports_sanitize`` matches what the contract verifier
     infers from the sweep's dataflow).
+
+    A :class:`~repro.store.shard.ShardedGraph` input runs the same
+    program out-of-core (one worker per shard, boundary h-value exchange
+    from the shard manifests) via
+    :func:`~repro.distributed.sharded.sharded_pkmc` — identical core,
+    density and superstep trace; only the cost model's partition differs.
     """
+    from ..store.shard import ShardedGraph
+
+    if isinstance(graph, ShardedGraph):
+        from .sharded import sharded_pkmc
+
+        return sharded_pkmc(
+            graph,
+            config=config,
+            early_stop=early_stop,
+            max_supersteps=max_supersteps,
+            sanitize=sanitize,
+        )
     if graph.num_edges == 0:
         raise EmptyGraphError("UDS is undefined on a graph without edges")
     sanitizer = SimRuntime(sanitize=True) if sanitize else None

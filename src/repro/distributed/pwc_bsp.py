@@ -84,7 +84,8 @@ class _EdgeBSPAccountant:
 
 
 @register_solver(
-    "pwc-bsp", kind="dds", guarantee="2-approx", cost="bsp", supports_cluster=True
+    "pwc-bsp", kind="dds", guarantee="2-approx", cost="bsp",
+    supports_cluster=True, supports_shards=True,
 )
 def distributed_pwc(
     graph: DirectedGraph,
@@ -96,7 +97,18 @@ def distributed_pwc(
     The answer is identical to shared-memory :func:`repro.core.pwc`;
     ``simulated_seconds`` is the cluster time and ``extras`` carries the
     superstep/message counters plus the usual Table-7 sizes.
+
+    A :class:`~repro.store.shard.ShardedGraph` input streams the same
+    peeling waves shard by shard
+    (:func:`~repro.distributed.sharded.sharded_pwc`) — identical w*,
+    levels and [x*, y*]-core; only the cost model's partition differs.
     """
+    from ..store.shard import ShardedGraph
+
+    if isinstance(graph, ShardedGraph):
+        from .sharded import sharded_pwc
+
+        return sharded_pwc(graph, config=config, start_at_dmax=start_at_dmax)
     if graph.num_edges == 0:
         raise EmptyGraphError("DDS is undefined on a graph without edges")
     cluster = _EdgeBSPAccountant(graph, config or ClusterConfig())

@@ -1,0 +1,543 @@
+"""BSP supersteps over mmap-backed shards (out-of-core pkmc/pwc).
+
+The monolithic BSP ports (:mod:`.pkmc_bsp` / :mod:`.pwc_bsp`) slice one
+in-RAM graph into mod-W hash partitions.  This module is the same
+algorithms over a :class:`~repro.store.shard.ShardedGraph`: each vertex
+shard *is* a worker's partition, supersteps stream the shards through
+the facade's memory budget, and the only cross-worker traffic is the
+explicit boundary h-value / degree-message exchange the shard's boundary
+tables describe.
+
+Bit-identity contract: the h-array / alive-mask evolution — and with it
+the density, decomposition, iteration counts and Theorem-1 early stop —
+is **identical** to the monolithic solvers, superstep for superstep.
+Per-vertex updates depend only on neighbour values, which shards
+preserve exactly; only the *cost* model differs, because range
+partitioning by balanced edge mass is not hash partitioning (different
+cross-edge fraction, hence different simulated seconds and message
+counts — that difference is the experiment this layer enables).
+
+:class:`ShardedBSPAccountant` additionally splits every superstep's bill
+into compute / boundary-exchange / overhead seconds and tracks the bytes
+crossing shard boundaries, feeding the ``boundary_messages_bytes``
+column of :class:`~repro.engine.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.pwc import derive_cn_pair_collapse, derive_cn_pair_divisor
+from ..core.results import DDSResult, UDSResult
+from ..core.winduced import WStarResult
+from ..core.xycore import xy_core
+from ..errors import EmptyGraphError
+from ..kernels.frontier import _scalar_h_index
+from ..kernels.shard import (
+    shard_adjacency_slots,
+    shard_induced_edge_count,
+    shard_sweep_values,
+)
+from ..runtime.simruntime import SimRuntime
+from ..store.shard import ShardedGraph
+from .cluster import ClusterConfig
+
+__all__ = [
+    "ShardedPartition",
+    "ShardedBSPAccountant",
+    "sharded_pkmc",
+    "sharded_pwc",
+]
+
+_H_UPDATE_UNITS = 4.0
+_EDGE_SCAN_UNITS = 3.0
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class ShardedPartition:
+    """A :class:`ShardedGraph`'s vertex ranges viewed as BSP partitions.
+
+    Worker ``s`` owns the contiguous global range
+    ``[bounds[s], bounds[s + 1])`` — the shard itself.  The partition
+    geometry (ownership, cross fraction) comes straight from the
+    manifest; :meth:`cross_neighbor_counts` streams the boundary tables
+    once through the budget to build the per-vertex remote-neighbour
+    counts the vertex-centric cost model charges messages from.
+    """
+
+    def __init__(self, graph: ShardedGraph):
+        self.graph = graph
+        self.bounds = graph.bounds
+        self.num_workers = graph.num_shards
+
+    def owners(self, vertex_ids: np.ndarray) -> np.ndarray:
+        """Owning shard/worker of every given global vertex id."""
+        return self.graph.owners(vertex_ids)
+
+    def cross_edge_fraction(self) -> float:
+        """Fraction of adjacency slots crossing a shard boundary."""
+        return self.graph.cross_adjacency_fraction()
+
+    def cross_neighbor_counts(self) -> np.ndarray:
+        """Per-vertex count of neighbours living on a different shard.
+
+        The sharded analogue of the hash-partition cross counts: shard
+        ``s``'s boundary table lists exactly the adjacency slots whose
+        tail is off-shard, keyed by the owning (source) vertex.
+        """
+        graph = self.graph
+        counts = np.zeros(graph.num_vertices, dtype=np.int64)
+        for index in range(graph.num_shards):
+            shard = graph.shard(index)
+            if shard.boundary_src.size:
+                counts += np.bincount(
+                    shard.boundary_src, minlength=graph.num_vertices
+                )
+        return counts
+
+
+class ShardedBSPAccountant:
+    """Superstep cost accounting with one worker per shard.
+
+    Same hardware model and per-superstep formula as
+    :class:`~repro.distributed.cluster.BSPCluster` — the slowest worker
+    gates compute, the busiest NIC gates the exchange, plus one latency
+    round, the barrier and (optionally) the aggregator round-trip — but
+    reduced over per-*shard* totals, and with the bill split three ways
+    so reports can separate compute from boundary exchange.
+    """
+
+    def __init__(self, config: ClusterConfig, num_shards: int):
+        self.config = config
+        self.num_shards = num_shards
+        self.compute_seconds = 0.0
+        self.exchange_seconds = 0.0
+        self.overhead_seconds = 0.0
+        self.supersteps = 0
+        self.total_messages = 0
+        self.boundary_messages_bytes = 0
+
+    @property
+    def now(self) -> float:
+        """Simulated seconds elapsed across all supersteps."""
+        return self.compute_seconds + self.exchange_seconds + self.overhead_seconds
+
+    def superstep(
+        self,
+        compute_units_per_shard: np.ndarray,
+        message_counts_per_shard: np.ndarray,
+        aggregate: bool = True,
+    ) -> None:
+        """Account one superstep from per-shard work/message totals."""
+        config = self.config
+        compute = np.asarray(compute_units_per_shard, dtype=np.float64)
+        messages = np.asarray(message_counts_per_shard, dtype=np.float64)
+        self.compute_seconds += (
+            float(compute.max(initial=0.0)) * config.work_unit_seconds
+        )
+        self.exchange_seconds += (
+            float(messages.max(initial=0.0))
+            * config.bytes_per_message
+            / config.network_bandwidth_bytes_per_s
+            + config.network_latency_seconds
+        )
+        self.overhead_seconds += config.barrier_seconds
+        if aggregate:
+            self.overhead_seconds += config.aggregator_seconds
+        self.supersteps += 1
+        sent = int(messages.sum())
+        self.total_messages += sent
+        self.boundary_messages_bytes += sent * config.bytes_per_message
+
+
+def _shard_heads(shard) -> np.ndarray:
+    """Global source id of every adjacency slot in a directed shard."""
+    return np.repeat(
+        np.arange(shard.lo, shard.hi, dtype=np.int64),
+        np.diff(np.asarray(shard.out_indptr, dtype=np.int64)),
+    )
+
+
+def _sharded_density(graph: ShardedGraph, vertices: np.ndarray) -> float:
+    """Induced density of a vertex set, summed shard by shard.
+
+    Matches :func:`repro.kernels.density.induced_density` exactly: each
+    undirected edge appears once per endpoint across the shards and the
+    ``head < tail`` convention in the shard kernel counts it once.
+    """
+    if vertices.size == 0:
+        return 0.0
+    member = np.zeros(graph.num_vertices, dtype=bool)
+    member[vertices] = True
+    count = 0
+    for index in range(graph.num_shards):
+        shard = graph.shard(index)
+        count += shard_induced_edge_count(
+            shard.indptr, shard.indices, member, vertex_offset=shard.lo
+        )
+    return count / vertices.size
+
+
+def _shard_stats(graph: ShardedGraph, accountant: ShardedBSPAccountant) -> dict:
+    """The per-shard breakdown a RunReport lifts out of solver extras."""
+    stats = graph.stats()
+    stats["boundary_messages_bytes"] = accountant.boundary_messages_bytes
+    return stats
+
+
+def sharded_pkmc(
+    graph: ShardedGraph,
+    config: ClusterConfig | None = None,
+    early_stop: bool = True,
+    max_supersteps: int | None = None,
+    sanitize: bool = False,
+) -> UDSResult:
+    """PKMC's vertex-centric BSP program over mmap-backed shards.
+
+    The per-superstep h-array evolution, early stop, k* and core are
+    bit-identical to :func:`~repro.distributed.pkmc_bsp.distributed_pkmc`
+    on the assembled graph; each shard plays the role of one worker, and
+    boundary h-value messages are counted from the shards' boundary
+    tables instead of a hash partition.
+    """
+    if graph.num_edges == 0:
+        raise EmptyGraphError("UDS is undefined on a graph without edges")
+    graph.reset_stats()
+    sanitizer = SimRuntime(sanitize=True) if sanitize else None
+    partition = ShardedPartition(graph)
+    accountant = ShardedBSPAccountant(
+        config or ClusterConfig(), graph.num_shards
+    )
+    num_shards = graph.num_shards
+    bounds = graph.bounds
+    cross_counts = partition.cross_neighbor_counts()
+    degrees = graph.degrees().astype(np.float64)
+    n = graph.num_vertices
+    limit = max_supersteps if max_supersteps is not None else n + 2
+
+    h = graph.degrees().astype(np.int64)
+    h_max = int(h.max())
+    count_at_max = int(np.count_nonzero(h == h_max))
+    # Superstep 0: initialise h = degree, send to all boundary neighbours.
+    step0_compute = 2.0 * np.diff(bounds).astype(np.float64)
+    step0_messages = np.asarray(
+        [
+            float(cross_counts[bounds[s]:bounds[s + 1]].sum())
+            for s in range(num_shards)
+        ]
+    )
+    accountant.superstep(step0_compute, step0_messages)
+
+    supersteps = 1
+    frontier: np.ndarray | None = None
+    early_stop_fired = False
+    history = [(h_max, count_at_max)]
+    while supersteps < limit:
+        new_h = h.copy()
+        woken_mask = np.zeros(n, dtype=bool)
+        compute = np.zeros(num_shards, dtype=np.float64)
+        messages = np.zeros(num_shards, dtype=np.float64)
+        for index in range(num_shards):
+            lo, hi = int(bounds[index]), int(bounds[index + 1])
+            if frontier is None:
+                members = None
+            else:
+                i0, i1 = np.searchsorted(frontier, (lo, hi))
+                if i0 == i1:
+                    continue  # nothing woken here: the shard stays cold
+                members = frontier[i0:i1]
+            shard = graph.shard(index)
+            indptr_l, indices_l = shard.indptr, shard.indices
+            if members is None:
+                if sanitizer is not None:
+
+                    def full_body(i, old, new, ptr=indptr_l, idx=indices_l, lo=lo):
+                        new[lo + i] = _scalar_h_index(old[idx[ptr[i]:ptr[i + 1]]])
+
+                    sanitizer.observe_parfor(
+                        hi - lo,
+                        full_body,
+                        {"old": h, "new": new_h},
+                        label="sharded_synchronous_sweep",
+                    )
+                else:
+                    new_h[lo:hi] = shard_sweep_values(
+                        indptr_l, indices_l, h, vertices=None, vertex_offset=lo
+                    ).astype(h.dtype, copy=False)
+                changed_local = lo + np.flatnonzero(new_h[lo:hi] < h[lo:hi])
+                compute[index] = float(degrees[lo:hi].sum()) + _H_UPDATE_UNITS * (
+                    hi - lo
+                )
+            else:
+                if sanitizer is not None:
+
+                    def frontier_body(
+                        i, old, new, ids=members, ptr=indptr_l, idx=indices_l, lo=lo
+                    ):
+                        v = int(ids[i])
+                        r = v - lo
+                        new[v] = _scalar_h_index(old[idx[ptr[r]:ptr[r + 1]]])
+
+                    sanitizer.observe_parfor(
+                        members.size,
+                        frontier_body,
+                        {"old": h, "new": new_h},
+                        label="sharded_frontier_sweep",
+                    )
+                else:
+                    new_h[members] = shard_sweep_values(
+                        indptr_l, indices_l, h, vertices=members, vertex_offset=lo
+                    ).astype(h.dtype, copy=False)
+                changed_local = members[new_h[members] < h[members]]
+                compute[index] = (
+                    float(degrees[members].sum()) + _H_UPDATE_UNITS * members.size
+                )
+            if changed_local.size:
+                slots = shard_adjacency_slots(indptr_l, changed_local, lo)
+                woken_mask[indices_l[slots]] = True
+                messages[index] = float(cross_counts[changed_local].sum())
+        accountant.superstep(compute, messages)
+        supersteps += 1
+
+        new_h_max = int(new_h.max())
+        new_count = int(np.count_nonzero(new_h == new_h_max))
+        history.append((new_h_max, new_count))
+        guard_blocks = new_count <= new_h_max
+        if (
+            early_stop
+            and not guard_blocks
+            and new_h_max == h_max
+            and new_count == count_at_max
+        ):
+            h = new_h
+            early_stop_fired = True
+            break
+        h, h_max, count_at_max = new_h, new_h_max, new_count
+        frontier = np.flatnonzero(woken_mask)
+        if frontier.size == 0:
+            break
+
+    core_vertices = np.flatnonzero(h == int(h.max()))
+    density = _sharded_density(graph, core_vertices)
+    return UDSResult(
+        algorithm="PKMC-BSP",
+        vertices=core_vertices,
+        density=density,
+        iterations=supersteps,
+        k_star=int(h.max()),
+        simulated_seconds=accountant.now,
+        extras={
+            "supersteps": accountant.supersteps,
+            "total_messages": accountant.total_messages,
+            "cross_edge_fraction": partition.cross_edge_fraction(),
+            "early_stop_fired": early_stop_fired,
+            "history": history,
+            "num_workers": graph.num_shards,
+            "compute_seconds": accountant.compute_seconds,
+            "exchange_seconds": accountant.exchange_seconds,
+            "overhead_seconds": accountant.overhead_seconds,
+            "shard_stats": _shard_stats(graph, accountant),
+        },
+    )
+
+
+class _RemnantEdgeView:
+    """Driver-side edge list duck-typed for the cn-pair extraction.
+
+    :func:`~repro.core.pwc.derive_cn_pair_collapse` and
+    :func:`~repro.core.xycore.xy_core` read only ``edge_src`` /
+    ``edge_dst`` / ``num_vertices`` / ``num_edges`` plus an edge mask, so
+    the (small, Table-7-sized) w*-remnant collected off the shards stands
+    in for the full graph without materializing its CSR.  Vertex ids stay
+    global, hence S/T of the resulting core match the monolithic answer.
+    """
+
+    def __init__(self, num_vertices: int, edge_src: np.ndarray, edge_dst: np.ndarray):
+        self.num_vertices = num_vertices
+        self.edge_src = edge_src
+        self.edge_dst = edge_dst
+
+    @property
+    def num_edges(self) -> int:
+        """Number of remnant edges."""
+        return self.edge_src.size
+
+
+def _collect_masked_edges(
+    graph: ShardedGraph, edge_mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """(src, dst) of the masked edges, in global edge-id order."""
+    eid_parts: list[np.ndarray] = []
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for index in range(graph.num_shards):
+        shard = graph.shard(index)
+        selected = edge_mask[shard.out_edge_ids]
+        if not selected.any():
+            continue
+        eid_parts.append(np.asarray(shard.out_edge_ids[selected], dtype=np.int64))
+        src_parts.append(_shard_heads(shard)[selected])
+        dst_parts.append(np.asarray(shard.out_indices[selected], dtype=np.int64))
+    if not eid_parts:
+        return _EMPTY, _EMPTY
+    eids = np.concatenate(eid_parts)
+    order = np.argsort(eids, kind="stable")
+    return np.concatenate(src_parts)[order], np.concatenate(dst_parts)[order]
+
+
+def sharded_pwc(
+    graph: ShardedGraph,
+    config: ClusterConfig | None = None,
+    start_at_dmax: bool = True,
+) -> DDSResult:
+    """PWC's edge-centric w*-peeling over mmap-backed shards.
+
+    Every deletion wave scans the still-alive edges shard by shard
+    against the wave's *frozen* degree vectors and applies all deletions
+    at the barrier — exactly the monolithic cascade's semantics, so the
+    alive-mask evolution, w*, level count and the final [x*, y*]-core
+    are bit-identical to
+    :func:`~repro.distributed.pwc_bsp.distributed_pwc`.  cn-pair
+    extraction runs driver-side on the collected remnant; only the
+    Theorem-2-gap divisor descent (never taken on the replicas) falls
+    back to materializing the monolithic graph.
+    """
+    if graph.num_edges == 0:
+        raise EmptyGraphError("DDS is undefined on a graph without edges")
+    graph.reset_stats()
+    accountant = ShardedBSPAccountant(
+        config or ClusterConfig(), graph.num_shards
+    )
+    num_shards = graph.num_shards
+    alive = np.ones(graph.num_edges, dtype=bool)
+    dout = graph.out_degrees().copy()
+    din = graph.in_degrees().copy()
+
+    def scan_wave(threshold: int, strict: bool):
+        """One frozen-degree scan over every shard; no mutations."""
+        scanned = np.zeros(num_shards, dtype=np.float64)
+        messages = np.zeros(num_shards, dtype=np.float64)
+        dead_eids: list[np.ndarray] = []
+        dead_src: list[np.ndarray] = []
+        dead_dst: list[np.ndarray] = []
+        total_live = 0
+        for index in range(num_shards):
+            shard = graph.shard(index)
+            eids = shard.out_edge_ids
+            live = alive[eids]
+            live_count = int(live.sum())
+            scanned[index] = float(live_count)
+            total_live += live_count
+            if live_count == 0:
+                continue
+            srcs = _shard_heads(shard)[live]
+            dsts = shard.out_indices[live]
+            weights = dout[srcs] * din[dsts]
+            bad = weights < threshold if strict else weights <= threshold
+            if bad.any():
+                dead_eids.append(np.asarray(eids[live][bad], dtype=np.int64))
+                dead_src.append(srcs[bad])
+                dead_dst.append(np.asarray(dsts[bad], dtype=np.int64))
+                messages[index] = float(
+                    ((dsts[bad] < shard.lo) | (dsts[bad] >= shard.hi)).sum()
+                )
+        return scanned, messages, dead_eids, dead_src, dead_dst, total_live
+
+    def cascade(threshold: int, strict: bool) -> None:
+        """Peel below/at ``threshold`` to a fixed point, one wave per step."""
+        while True:
+            scanned, messages, dead_eids, dead_src, dead_dst, total_live = (
+                scan_wave(threshold, strict)
+            )
+            if total_live == 0:
+                return
+            accountant.superstep(scanned * _EDGE_SCAN_UNITS, messages)
+            if not dead_eids:
+                return
+            alive[np.concatenate(dead_eids)] = False
+            np.subtract.at(dout, np.concatenate(dead_src), 1)
+            np.subtract.at(din, np.concatenate(dead_dst), 1)
+
+    def min_alive_weight() -> int | None:
+        """Driver-side aggregation of the next level's minimum weight."""
+        current: int | None = None
+        for index in range(num_shards):
+            shard = graph.shard(index)
+            live = alive[shard.out_edge_ids]
+            if not live.any():
+                continue
+            weights = dout[_shard_heads(shard)[live]] * din[shard.out_indices[live]]
+            low = int(weights.min())
+            current = low if current is None else min(current, low)
+        return current
+
+    if start_at_dmax:
+        d_max = max(
+            int(dout.max(initial=0)), int(din.max(initial=0))
+        )
+        cascade(d_max, strict=True)
+    size_after_prune = int(np.count_nonzero(alive))
+
+    snapshot = alive.copy()
+    w_star = 0
+    levels = 0
+    while True:
+        w_cur = min_alive_weight()
+        if w_cur is None:
+            break
+        snapshot = alive.copy()
+        w_star = w_cur
+        levels += 1
+        cascade(w_cur, strict=False)
+
+    size_wstar = int(np.count_nonzero(snapshot))
+    remnant_src, remnant_dst = _collect_masked_edges(graph, snapshot)
+    view = _RemnantEdgeView(graph.num_vertices, remnant_src, remnant_dst)
+    wstar_view = WStarResult(
+        edge_mask=np.ones(view.num_edges, dtype=bool),
+        w_star=w_star,
+        rounds=accountant.supersteps,
+        size_after_prune=size_after_prune,
+        size_wstar=size_wstar,
+    )
+    pair = derive_cn_pair_collapse(view, wstar_view)
+    core = None
+    if pair is not None:
+        x, y = pair
+        core = xy_core(view, x, y, edge_mask=wstar_view.edge_mask)
+        if not core.exists:
+            core = None
+    if core is None:
+        # Theorem-2-gap descent: rebuilding P-induced subgraphs needs the
+        # full CSR, so this (replica-untaken) path materializes it once.
+        wstar_full = WStarResult(
+            edge_mask=snapshot,
+            w_star=w_star,
+            rounds=accountant.supersteps,
+            size_after_prune=size_after_prune,
+            size_wstar=size_wstar,
+        )
+        x, y, core = derive_cn_pair_divisor(graph.to_graph(), wstar_full)
+    return DDSResult(
+        algorithm="PWC-BSP",
+        s=core.s,
+        t=core.t,
+        density=core.density(),
+        x=x,
+        y=y,
+        w_star=w_star,
+        iterations=levels,
+        simulated_seconds=accountant.now,
+        extras={
+            "supersteps": accountant.supersteps,
+            "total_messages": accountant.total_messages,
+            "cross_edge_fraction": graph.cross_adjacency_fraction(),
+            "size_first": size_after_prune,
+            "size_wstar": size_wstar,
+            "num_workers": graph.num_shards,
+            "compute_seconds": accountant.compute_seconds,
+            "exchange_seconds": accountant.exchange_seconds,
+            "overhead_seconds": accountant.overhead_seconds,
+            "shard_stats": _shard_stats(graph, accountant),
+        },
+    )

@@ -22,6 +22,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["RunReport", "attach_serve_stats"]
 
 
+def _shard_fields(result: Any, graph: Any) -> dict[str, int]:
+    """Per-shard breakdown for the report, when the run was sharded.
+
+    Solvers that executed over a :class:`~repro.store.shard.ShardedGraph`
+    stamp their residency/exchange counters into
+    ``result.extras["shard_stats"]``; runs where the engine materialized
+    the monolithic graph for a shard-unaware solver still report the
+    facade's own load counters (with no boundary traffic).  Monolithic
+    runs return no fields, leaving the zero defaults.
+    """
+    stats = None
+    extras = getattr(result, "extras", None)
+    if isinstance(extras, dict):
+        stats = extras.get("shard_stats")
+    if stats is None and hasattr(graph, "num_shards") and hasattr(graph, "stats"):
+        stats = dict(graph.stats())
+    if not isinstance(stats, dict):
+        return {}
+    return {
+        "shards": int(stats.get("shards", 0)),
+        "shard_loads": int(stats.get("shard_loads", 0)),
+        "peak_resident_bytes": int(stats.get("peak_resident_bytes", 0)),
+        "boundary_messages_bytes": int(stats.get("boundary_messages_bytes", 0)),
+    }
+
+
 @dataclass(frozen=True)
 class RunReport:
     """Uniform outcome record for one solver run.
@@ -40,6 +66,15 @@ class RunReport:
     re-running the solver.  ``backend`` is the resolved array backend
     (:mod:`repro.backends`) the run's kernels executed on; it affects
     wall-clock only — never results or simulated seconds.
+
+    The shard fields are zero outside sharded runs: ``shards`` is the
+    partition count of the :class:`~repro.store.shard.ShardedGraph` the
+    solver executed over, ``shard_loads`` / ``peak_resident_bytes`` the
+    facade's residency counters for this run, and
+    ``boundary_messages_bytes`` the bytes the BSP cost model moved
+    across shard boundaries.  They come from the solver's
+    ``extras["shard_stats"]`` when present, else from the sharded
+    graph's own counters.
 
     The serve fields are zero outside :mod:`repro.serve`:
     ``queue_wait_s`` is how long the query sat in the server's admission
@@ -66,6 +101,10 @@ class RunReport:
     graph_memory_bytes: int = 0
     cache_hit: bool = False
     backend: str = "numpy"
+    shards: int = 0
+    shard_loads: int = 0
+    peak_resident_bytes: int = 0
+    boundary_messages_bytes: int = 0
     queue_wait_s: float = 0.0
     batch_size: int = 0
     coalesced: int = 0
@@ -96,6 +135,7 @@ class RunReport:
             if graph is not None and hasattr(graph, "memory_bytes")
             else 0
         )
+        shard_fields = _shard_fields(result, graph)
         if runtime is not None:
             metrics = runtime.metrics
             return cls(
@@ -113,6 +153,7 @@ class RunReport:
                 graph_memory_bytes=graph_memory,
                 backend=backend,
                 breakdown=metrics.breakdown.as_dict(),
+                **shard_fields,
             )
         return cls(
             solver=spec.name,
@@ -124,6 +165,7 @@ class RunReport:
             simulated_seconds=result.simulated_seconds,
             graph_memory_bytes=graph_memory,
             backend=backend,
+            **shard_fields,
         )
 
     def as_dict(self) -> dict[str, Any]:
@@ -143,6 +185,10 @@ class RunReport:
             "graph_memory_bytes": self.graph_memory_bytes,
             "cache_hit": self.cache_hit,
             "backend": self.backend,
+            "shards": self.shards,
+            "shard_loads": self.shard_loads,
+            "peak_resident_bytes": self.peak_resident_bytes,
+            "boundary_messages_bytes": self.boundary_messages_bytes,
             "queue_wait_s": self.queue_wait_s,
             "batch_size": self.batch_size,
             "coalesced": self.coalesced,

@@ -20,6 +20,7 @@ from ..errors import EngineError
 from ..graph.directed import DirectedGraph
 from ..graph.undirected import UndirectedGraph
 from ..store.memo import get_default_cache, make_cache_key
+from ..store.shard import ShardedGraph
 from .context import ExecutionContext
 from .report import RunReport
 from .spec import SolverSpec, get_solver, solver_specs
@@ -36,7 +37,9 @@ def resolve_solver(solver: SolverSpec | str, graph: Any) -> SolverSpec:
     """
     if isinstance(solver, SolverSpec):
         return solver
-    if isinstance(graph, DirectedGraph):
+    if isinstance(graph, ShardedGraph):
+        kind = "dds" if graph.kind == "directed" else "uds"
+    elif isinstance(graph, DirectedGraph):
         kind = "dds"
     elif isinstance(graph, UndirectedGraph):
         kind = "uds"
@@ -107,6 +110,15 @@ def run(
             cached.report = replace(cached.report, cache_hit=True)
             return cached
 
+    # Shard-aware solvers run their supersteps straight over the facade;
+    # for every other solver the engine assembles the monolithic graph
+    # (an explicit escape hatch — the budget does not apply to it).  The
+    # report and the memo key keep the caller's graph either way, which
+    # is what makes sharded and monolithic runs share cache entries.
+    solver_graph = graph
+    if isinstance(graph, ShardedGraph) and not spec.supports_shards:
+        solver_graph = graph.to_graph()
+
     runtime = None
     charged_loops = charged_serial = 0.0
     if spec.supports_runtime:
@@ -128,7 +140,7 @@ def run(
         kwargs["sanitize"] = True
 
     with use_backend(backend):
-        result = spec.func(graph, **kwargs)
+        result = spec.func(solver_graph, **kwargs)
 
     if runtime is not None:
         charged = (

@@ -65,6 +65,13 @@ class SolverSpec:
     supports_sanitize: bool = False
     supports_seed: bool = False
     supports_cluster: bool = False
+    supports_shards: bool = False
+    """Whether the solver can execute directly on a
+    :class:`~repro.store.shard.ShardedGraph` (out-of-core supersteps).
+    Not a context-forwarding capability — the engine materializes the
+    monolithic graph for solvers without it — so it is deliberately
+    absent from :meth:`capability_flags` and the contracts manifest."""
+
     default_options: dict[str, Any] = field(default_factory=dict)
     summary: str = ""
 
@@ -139,6 +146,7 @@ def register_solver(
     supports_sanitize: bool = False,
     supports_seed: bool = False,
     supports_cluster: bool = False,
+    supports_shards: bool = False,
     default_options: dict[str, Any] | None = None,
     summary: str = "",
 ) -> Callable[[Callable], Callable]:
@@ -164,6 +172,7 @@ def register_solver(
             supports_sanitize=supports_sanitize,
             supports_seed=supports_seed,
             supports_cluster=supports_cluster,
+            supports_shards=supports_shards,
             default_options=dict(default_options or {}),
             summary=summary,
         )

@@ -12,6 +12,8 @@
   line-by-line parser stays as the strict-validation fallback);
 * :mod:`repro.store.snapshot` — binary ``.npz`` snapshots with
   mmap-backed loading;
+* :mod:`repro.store.shard` — partitioned (sharded) snapshots behind the
+  budgeted out-of-core :class:`~repro.store.shard.ShardedGraph` facade;
 * :mod:`repro.store.memo` — the fingerprint-keyed LRU result cache used
   by :func:`repro.engine.run`.
 
@@ -52,6 +54,11 @@ __all__ = [
     "read_edges_vectorized",
     "save_snapshot",
     "load_snapshot",
+    "save_sharded",
+    "load_sharded",
+    "shard_bounds",
+    "ShardedGraph",
+    "GraphShard",
     "ResultCache",
     "make_cache_key",
     "get_default_cache",
@@ -65,6 +72,11 @@ _LAZY = {
     "read_edges_vectorized": "reader",
     "save_snapshot": "snapshot",
     "load_snapshot": "snapshot",
+    "save_sharded": "shard",
+    "load_sharded": "shard",
+    "shard_bounds": "shard",
+    "ShardedGraph": "shard",
+    "GraphShard": "shard",
     "ResultCache": "memo",
     "make_cache_key": "memo",
     "get_default_cache": "memo",

@@ -1,0 +1,99 @@
+"""``repro-store`` — storage-layer operations on graph snapshots.
+
+Subcommands::
+
+    repro-store shard graph.npz out-dir/ --shards 8   # partition a snapshot
+    repro-store info out-dir/                         # inspect a shard dir
+
+``shard`` builds the partitioned layout :mod:`repro.store.shard`
+documents (per-shard ``.npz`` members plus a fingerprint-chained
+manifest); ``info`` prints the manifest summary and verifies the chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ReproError
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-store",
+        description="Storage-layer operations (snapshots and shards).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    shard = sub.add_parser(
+        "shard",
+        help="partition a graph snapshot into a sharded directory",
+    )
+    shard.add_argument(
+        "snapshot", help="input graph snapshot (.npz, as written by "
+        "repro-dsd --save-snapshot)"
+    )
+    shard.add_argument(
+        "directory", help="output directory for shard_*.npz + manifest.json"
+    )
+    shard.add_argument(
+        "--shards", type=int, default=8, metavar="P",
+        help="number of balanced-edge-mass vertex shards (default 8)",
+    )
+
+    info = sub.add_parser(
+        "info", help="print and verify a sharded snapshot directory"
+    )
+    info.add_argument("directory", help="sharded snapshot directory")
+    return parser
+
+
+def _cmd_shard(args) -> int:
+    from ..graph.io import load_npz
+    from .shard import save_sharded
+
+    graph = load_npz(args.snapshot)
+    chain = save_sharded(graph, args.directory, shards=args.shards)
+    print(f"sharded {args.snapshot} -> {args.directory} "
+          f"({args.shards} shards, chain {chain})")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from .shard import load_sharded
+
+    graph = load_sharded(args.directory)
+    print(f"kind        : {graph.kind}")
+    print(f"vertices    : {graph.num_vertices}")
+    print(f"edges       : {graph.num_edges}")
+    print(f"shards      : {graph.num_shards}")
+    print(f"index dtype : {graph.index_dtype.str}")
+    print(f"fingerprint : {graph.fingerprint()}")
+    print(f"chain       : {graph.verify()} (verified)")
+    print(f"cross frac  : {graph.cross_adjacency_fraction():.4f}")
+    for index in range(graph.num_shards):
+        record = graph._manifest["shards"][index]
+        print(f"  {record['file']}: [{record['lo']}, {record['hi']}) "
+              f"entries={record['entries']} "
+              f"boundary={record['boundary_entries']} "
+              f"nbytes={record['nbytes']}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "shard":
+            return _cmd_shard(args)
+        return _cmd_info(args)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

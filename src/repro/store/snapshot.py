@@ -154,6 +154,18 @@ def load_snapshot(path: PathLike, mmap: bool = True):
     from ..graph.undirected import UndirectedGraph
 
     path_str = str(path)
+    if Path(path).is_dir():
+        from .shard import MANIFEST_NAME
+
+        if (Path(path) / MANIFEST_NAME).is_file():
+            raise GraphFormatError(
+                f"{path_str}: this is a sharded snapshot directory — load "
+                "it with repro.store.shard.load_sharded (or pass the "
+                "directory to repro-dsd, which detects the manifest)"
+            )
+        raise GraphFormatError(
+            f"{path_str}: is a directory, not a graph snapshot file"
+        )
     try:
         with np.load(path_str, allow_pickle=False) as data:
             fields = set(data.files)

@@ -1,0 +1,42 @@
+"""R014 fixture: direct shard ``.npz`` access outside the shard store.
+
+Lines ending with ``# plant`` must fire; everything else must not.
+The directory name matters — R014 exempts ``repro/store/shard`` paths,
+so this fixture lives under a ``repro/distributed/`` directory.
+"""
+
+import zipfile
+
+import numpy as np
+
+from repro.store.shard import load_sharded
+
+
+def raw_reads_bypassing_facade(directory, index):
+    data = np.load("cache/shard_00000.npz")  # plant
+    mapped = np.memmap(f"{directory}/shard_{index:05d}.npz", mode="r")  # plant
+    container = zipfile.ZipFile(f"{directory}/shard_{index:05d}.npz")  # plant
+    handle = open(f"{directory}/shard_{index:05d}.npz", "rb")  # plant
+    return data, mapped, container, handle
+
+
+def raw_write_bypassing_manifest(indptr, indices):
+    np.savez("cache/shard_00001.npz", indptr=indptr, indices=indices)  # plant
+
+
+def forensic_dump_kept_for_debugging(directory):
+    # The sanctioned escape hatch: justified inline suppression.
+    return np.load(f"{directory}/shard_00000.npz")  # repro-lint: disable=R014 (offline forensics)
+
+
+def facade_access_is_fine(directory, vertex):
+    # The intended shape: all shard reads go through ShardedGraph.
+    graph = load_sharded(directory, memory_budget_bytes=1 << 20)
+    return graph.shard(int(graph.shard_of(vertex)))
+
+
+def unrelated_files_are_fine(path):
+    # Plain snapshots and variable paths are not shard members.
+    snapshot = np.load("cache/graph.npz")
+    anything = open(path, "rb")
+    return snapshot, anything

@@ -31,6 +31,9 @@ RULE_FIXTURES = [
     # directory because the rule is path-scoped.
     ("R012", "r012_report_ownership.py"),
     ("R013", "repro/kernels/r013_backend_dispatch.py"),
+    # R014 is likewise path-scoped: it exempts repro/store/shard, so the
+    # fixture plants its violations under a repro/distributed/ path.
+    ("R014", "repro/distributed/r014_shard_access.py"),
 ]
 
 
@@ -214,3 +217,36 @@ class TestR013BackendDispatch:
         # lexsort carries a justified inline disable).
         kernels = SRC_ROOT / "kernels"
         assert LintEngine(select=["R013"]).lint_paths([kernels]) == []
+
+
+class TestR014ShardAccess:
+    """R014 exempts repro/store/shard; everywhere else is in scope."""
+
+    BYPASS = 'import numpy as np\ndata = np.load("out/shard_00000.npz")\n'
+
+    def test_fires_outside_shard_store_path(self):
+        for path in (
+            "src/repro/distributed/sharded.py",
+            "src/repro/engine/runner.py",
+            "tests/store/test_shard_store.py",
+        ):
+            findings = LintEngine(select=["R014"]).lint_source(
+                self.BYPASS, path=path
+            )
+            assert [f.rule_id for f in findings] == ["R014"], path
+            assert "ShardedGraph facade" in findings[0].message
+
+    def test_silent_inside_shard_store_path(self):
+        assert LintEngine(select=["R014"]).lint_source(
+            self.BYPASS, path="src/repro/store/shard.py"
+        ) == []
+
+    def test_variable_paths_not_flagged(self):
+        source = "import numpy as np\ndata = np.load(path)\n"
+        assert LintEngine(select=["R014"]).lint_source(
+            source, path="src/repro/distributed/sharded.py"
+        ) == []
+
+    def test_live_tree_is_clean(self):
+        # Nothing outside the shard store opens shard members raw.
+        assert LintEngine(select=["R014"]).lint_paths([SRC_ROOT]) == []

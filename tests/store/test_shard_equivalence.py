@@ -1,0 +1,128 @@
+"""Fuzz: shard-assembled CSR is bit-identical to the monolithic build.
+
+Random Chung–Lu replicas plus adversarial shapes (star, path, clique)
+are sharded at several P, reassembled through ``ShardedGraph.to_graph``
+and compared — dtype included — against both the original container and
+the lexsort reference builder.  Undirected boundary tables must be
+symmetric: every cross edge ``{u, v}`` appears once from each side.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph.directed import DirectedGraph
+from repro.graph.generators import chung_lu_directed, chung_lu_undirected
+from repro.graph.undirected import UndirectedGraph
+from repro.store.csr import reference_csr_from_canonical
+from repro.store.shard import load_sharded, save_sharded
+
+PART_COUNTS = (1, 2, 3, 8)
+
+
+def _star(n):
+    return UndirectedGraph.from_edges(
+        n, [(0, v) for v in range(1, n)]
+    )
+
+
+def _path(n):
+    return UndirectedGraph.from_edges(
+        n, [(v, v + 1) for v in range(n - 1)]
+    )
+
+
+def _clique(n):
+    return UndirectedGraph.from_edges(
+        n, [(u, v) for u in range(n) for v in range(u + 1, n)]
+    )
+
+
+def _directed_cycle_with_chords(n):
+    edges = [(v, (v + 1) % n) for v in range(n)]
+    edges += [(v, (v + 7) % n) for v in range(0, n, 3)]
+    return DirectedGraph.from_edges(n, edges)
+
+
+UNDIRECTED_CASES = [
+    pytest.param(lambda: chung_lu_undirected(200, 700, seed=31), id="chung-lu-31"),
+    pytest.param(lambda: chung_lu_undirected(150, 500, seed=32), id="chung-lu-32"),
+    pytest.param(lambda: _star(64), id="star"),
+    pytest.param(lambda: _path(80), id="path"),
+    pytest.param(lambda: _clique(24), id="clique"),
+]
+
+DIRECTED_CASES = [
+    pytest.param(lambda: chung_lu_directed(200, 700, seed=33), id="chung-lu-33"),
+    pytest.param(lambda: chung_lu_directed(150, 500, seed=34), id="chung-lu-34"),
+    pytest.param(lambda: _directed_cycle_with_chords(90), id="cycle-chords"),
+]
+
+
+@pytest.mark.parametrize("parts", PART_COUNTS)
+@pytest.mark.parametrize("make_graph", UNDIRECTED_CASES)
+def test_undirected_assembly_bit_identical(make_graph, parts, tmp_path):
+    graph = make_graph()
+    save_sharded(graph, tmp_path, shards=parts)
+    sharded = load_sharded(tmp_path)
+    rebuilt = sharded.to_graph()
+
+    assert rebuilt.indptr.dtype == graph.indptr.dtype
+    assert rebuilt.indices.dtype == graph.indices.dtype
+    assert np.array_equal(rebuilt.indptr, graph.indptr)
+    assert np.array_equal(rebuilt.indices, graph.indices)
+
+    # ...and against the original lexsort reference, dtype-normalized
+    # (the reference always emits int64).
+    ref_indptr, ref_indices = reference_csr_from_canonical(
+        graph.num_vertices, graph.edges()
+    )
+    assert np.array_equal(rebuilt.indptr.astype(np.int64), ref_indptr)
+    assert np.array_equal(rebuilt.indices.astype(np.int64), ref_indices)
+
+
+@pytest.mark.parametrize("parts", PART_COUNTS)
+@pytest.mark.parametrize("make_graph", DIRECTED_CASES)
+def test_directed_assembly_bit_identical(make_graph, parts, tmp_path):
+    graph = make_graph()
+    save_sharded(graph, tmp_path, shards=parts)
+    rebuilt = load_sharded(tmp_path).to_graph()
+    for name in ("out_indptr", "out_indices", "out_edge_ids",
+                 "in_indptr", "in_indices", "in_edge_ids"):
+        ours, theirs = getattr(rebuilt, name), getattr(graph, name)
+        assert ours.dtype == theirs.dtype, name
+        assert np.array_equal(ours, theirs), name
+    assert np.array_equal(rebuilt.edge_src, graph.edge_src)
+    assert np.array_equal(rebuilt.edge_dst, graph.edge_dst)
+    assert rebuilt.fingerprint() == graph.fingerprint()
+
+
+@pytest.mark.parametrize("parts", PART_COUNTS)
+@pytest.mark.parametrize("make_graph", UNDIRECTED_CASES)
+def test_undirected_boundary_tables_symmetric(make_graph, parts, tmp_path):
+    graph = make_graph()
+    save_sharded(graph, tmp_path, shards=parts)
+    sharded = load_sharded(tmp_path)
+    src_parts, dst_parts = [], []
+    for index in range(parts):
+        shard = sharded.shard(index)
+        src_parts.append(np.asarray(shard.boundary_src, dtype=np.int64))
+        dst_parts.append(np.asarray(shard.boundary_dst, dtype=np.int64))
+        # Every boundary src is owned by this shard; no dst is.
+        assert np.all((src_parts[-1] >= shard.lo) & (src_parts[-1] < shard.hi))
+        outside = (dst_parts[-1] < shard.lo) | (dst_parts[-1] >= shard.hi)
+        assert np.all(outside)
+    src = np.concatenate(src_parts) if src_parts else np.empty(0, np.int64)
+    dst = np.concatenate(dst_parts) if dst_parts else np.empty(0, np.int64)
+    n = sharded.num_vertices
+    forward = np.sort(src * n + dst)
+    backward = np.sort(dst * n + src)
+    assert np.array_equal(forward, backward)
+
+
+@pytest.mark.parametrize("make_graph", UNDIRECTED_CASES)
+def test_single_shard_has_no_boundary(make_graph, tmp_path):
+    graph = make_graph()
+    save_sharded(graph, tmp_path, shards=1)
+    sharded = load_sharded(tmp_path)
+    assert sharded.cross_adjacency_fraction() == 0.0
+    assert sharded.shard(0).boundary_src.size == 0

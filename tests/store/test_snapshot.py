@@ -169,3 +169,18 @@ class TestMalformed:
 
         with pytest.raises(GraphError):
             save_snapshot(object(), tmp_path / "nope.npz")
+
+
+class TestDirectoryInputs:
+    """Directories are never snapshot files; sharded dirs get a pointer."""
+
+    def test_plain_directory_is_rejected(self, tmp_path):
+        with pytest.raises(GraphFormatError, match="is a directory"):
+            load_snapshot(tmp_path)
+
+    def test_sharded_directory_points_at_load_sharded(self, undirected, tmp_path):
+        from repro.store.shard import save_sharded
+
+        save_sharded(undirected, tmp_path, shards=2)
+        with pytest.raises(GraphFormatError, match="load_sharded"):
+            load_snapshot(tmp_path)
