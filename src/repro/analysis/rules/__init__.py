@@ -2,7 +2,7 @@
 
 Each rule is a small :class:`~repro.analysis.engine.Rule` visitor with an
 id, severity, and fix hint; ``DEFAULT_RULES`` is the registry the engine
-and the ``repro-lint`` CLI load.  R001–R006, R013 and R014 are
+and the ``repro-lint`` CLI load.  R001–R006 and R013–R015 are
 single-node pattern rules living in this package; R007–R012 are the dataflow
 contract rules from :mod:`repro.analysis.contracts`.  The catalogue,
 with rationale and examples, is documented in
@@ -24,6 +24,7 @@ from .exceptions import ExceptionHygieneRule
 from .float_compare import FloatDensityCompareRule
 from .registry import SolverRegistryRule
 from .shard_access import ShardAccessRule
+from .stream_mutation import StreamMutationRule
 
 DEFAULT_RULES = (
     DeterminismRule,
@@ -35,11 +36,12 @@ DEFAULT_RULES = (
     *CONTRACT_RULES,
     BackendDispatchRule,
     ShardAccessRule,
+    StreamMutationRule,
 )
 
 
 def rule_range(rules=DEFAULT_RULES) -> str:
-    """The advertised id range of a rule registry, e.g. ``"R001-R014"``."""
+    """The advertised id range of a rule registry, e.g. ``"R001-R015"``."""
     ids = sorted(rule.rule_id for rule in rules)
     if not ids:
         return ""
@@ -52,6 +54,7 @@ __all__ = [
     "DEFAULT_RULES",
     "BackendDispatchRule",
     "ShardAccessRule",
+    "StreamMutationRule",
     "DeterminismRule",
     "ExceptionHygieneRule",
     "PublicDocstringRule",

@@ -38,7 +38,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "bench-regression harness), 'store' (the storage-layer "
             "harness), 'backends' (the array-backend harness), 'serve' "
             "(the query-service traffic-replay harness), 'shard' (the "
-            "sharded out-of-core engine harness) or 'all'; default: all"
+            "sharded out-of-core engine harness), 'stream' (the "
+            "incremental streaming-maintenance harness) or 'all'; "
+            "default: all"
         ),
     )
     parser.add_argument(
@@ -73,8 +75,8 @@ def _build_parser() -> argparse.ArgumentParser:
         const=_CHECK_DEFAULT,
         metavar="BASELINE_JSON",
         help=(
-            "with 'kernels', 'store', 'backends', 'serve' or 'shard': "
-            "compare the fresh run "
+            "with 'kernels', 'store', 'backends', 'serve', 'shard' or "
+            "'stream': compare the fresh run "
             "against the committed BENCH_*.json baseline and exit non-zero "
             "on regression; with 'all', run every harness against its "
             "committed baseline (bare --check uses the default file names)"
@@ -164,6 +166,16 @@ def _run_shard(args) -> int:
     )
 
 
+def _run_stream(args) -> int:
+    """Run the streaming bench; write or check ``BENCH_stream.json``."""
+    from .stream import check_regression, render_stream_report, run_stream_bench
+
+    return _run_harness(
+        args, "stream", run_stream_bench, check_regression,
+        render_stream_report, "BENCH_stream.json",
+    )
+
+
 #: The bench-regression harnesses, in the order ``all --check`` runs them.
 _HARNESSES = (
     ("kernels", _run_kernels),
@@ -171,6 +183,7 @@ _HARNESSES = (
     ("backends", _run_backends),
     ("serve", _run_serve),
     ("shard", _run_shard),
+    ("stream", _run_stream),
 )
 
 

@@ -1,0 +1,256 @@
+"""Streaming-maintenance harness (``repro-bench stream``).
+
+Plays the same seeded sliding-window temporal stream
+(:func:`repro.datasets.sliding_window_stream` over the PT replica)
+through two :class:`repro.stream.StreamSession` modes in lockstep:
+
+* **rebuild** — the historical baseline: every batch's refresh is a
+  full warm-started re-convergence over the whole graph
+  (rebuild-per-batch);
+* **incremental** — the localized path: per-update subcore regions with
+  the configurable full-rebuild fallback.
+
+Each batch is applied and then queried (``k_star()`` — the read-mix a
+streaming consumer issues), with only that apply+read span timed.
+After every batch the two sessions are compared **bit-identically** —
+``k_star()``, ``core_numbers()`` and ``densest_subgraph()`` (vertices
+and density) must agree exactly — so the speedup can never come from
+drifting answers.  Two workloads are measured:
+
+* **small-batch** (8 arrivals + 8 expiries per step, ~0.04% of m —
+  well under the gate's 1% ceiling): where localization pays; the
+  acceptance floor is ≥ 3x sustained updates/s over rebuild-per-batch;
+* **large-batch** (1000 + 1000 per step, beyond the default
+  ``region_fraction`` budget): forces the full-rebuild fallback every
+  step, pinning that the worst case degrades to the baseline instead
+  of past it — the gate asserts the fallback actually fired.
+
+As in the other harnesses the committed ``BENCH_stream.json`` gate
+pins *deterministic* quantities exactly (maintenance counters, sweep
+totals, bit-identity booleans) and floors only the wall-clock ratios,
+so a slower CI host cannot fail spuriously.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..datasets import load_undirected, sliding_window_stream
+from ..stream import StreamSession
+
+__all__ = [
+    "run_stream_bench",
+    "check_regression",
+    "render_stream_report",
+    "STREAM_SPEEDUP_FLOOR",
+]
+
+#: Acceptance floor (ISSUE 10): incremental updates/s over
+#: rebuild-per-batch on the small-batch workload.
+STREAM_SPEEDUP_FLOOR = 3.0
+#: Relative regression tolerance for baseline-vs-current ratios.
+DEFAULT_TOLERANCE = 0.35
+
+#: The replica the stream plays over (smallest registry graph: the
+#: bench replays it hundreds of times on the rebuild side).
+_DATASET = "PT"
+
+_WORKLOADS = (
+    # (label, batch_size, num_batches)
+    ("small_batch", 8, 30),
+    ("large_batch", 1_000, 6),
+)
+
+
+def _assert_lockstep_identical(incremental: StreamSession, rebuild: StreamSession) -> None:
+    """Bit-identity of every query surface between the two sessions."""
+    if incremental.k_star() != rebuild.k_star():
+        raise AssertionError(
+            f"k_star drifted: incremental {incremental.k_star()} vs "
+            f"rebuild {rebuild.k_star()}"
+        )
+    if not np.array_equal(incremental.core_numbers(), rebuild.core_numbers()):
+        raise AssertionError("core_numbers drifted between maintenance modes")
+    left, right = incremental.query(), rebuild.query()
+    if not np.array_equal(left.vertices, right.vertices):
+        raise AssertionError("densest_subgraph vertices drifted")
+    if left.density != right.density:  # repro-lint: disable=R004 (bit-identity is the contract under test)
+        raise AssertionError("densest_subgraph density drifted")
+
+
+def _replay(session: StreamSession, batches) -> dict:
+    """Timed replay: apply each batch then serve the k_star read."""
+    updates = 0
+    elapsed = 0.0
+    for batch in batches:
+        started = time.perf_counter()  # repro-lint: disable=R001 (real wall-clock measurement)
+        session.apply(insertions=batch.insertions, deletions=batch.deletions)
+        session.k_star()  # the per-batch read-mix
+        elapsed += time.perf_counter() - started  # repro-lint: disable=R001 (real wall-clock measurement)
+        updates += batch.size
+    stats = session.stats()
+    return {
+        "updates": updates,
+        "total_s": elapsed,
+        "updates_per_s": updates / elapsed if elapsed else float("inf"),
+        "rebuilds": stats["rebuilds"],
+        "incremental_refreshes": stats["incremental_refreshes"],
+        "incremental_fraction": stats["incremental_fraction"],
+        "affected_total": stats["affected_total"],
+        "total_sweeps": stats["total_sweeps"],
+    }
+
+
+def _run_workload(graph, batch_size: int, num_batches: int, seed: int) -> dict:
+    """One lockstep incremental-vs-rebuild replay with per-batch identity."""
+    initial, batches = sliding_window_stream(
+        graph, batch_size=batch_size, num_batches=num_batches, seed=seed
+    )
+    sessions = {}
+    for mode in ("incremental", "rebuild"):
+        session = StreamSession(graph.num_vertices, mode=mode)
+        session.apply(insertions=initial)
+        session.k_star()  # converge the window outside the timed span
+        sessions[mode] = session
+
+    # Replay each side over the full stream (timed), then re-play both in
+    # lockstep for the per-batch identity checkpoints (untimed): the
+    # timed replays stay free of cross-mode interleaving effects.
+    results = {
+        mode: _replay(sessions[mode], batches) for mode in sessions
+    }
+    check_inc = StreamSession(graph.num_vertices, mode="incremental")
+    check_reb = StreamSession(graph.num_vertices, mode="rebuild")
+    check_inc.apply(insertions=initial)
+    check_reb.apply(insertions=initial)
+    checkpoints = 0
+    for batch in batches:
+        check_inc.apply(insertions=batch.insertions, deletions=batch.deletions)
+        check_reb.apply(insertions=batch.insertions, deletions=batch.deletions)
+        _assert_lockstep_identical(check_inc, check_reb)
+        checkpoints += 1
+
+    incremental, rebuild = results["incremental"], results["rebuild"]
+    final = check_inc.query()
+    return {
+        "batch_size": batch_size,
+        "num_batches": num_batches,
+        "window_edges": int(initial.shape[0]),
+        "updates": incremental["updates"],
+        "checkpoints": checkpoints,
+        "bit_identical": True,  # _assert_lockstep_identical raised otherwise
+        "incremental": incremental,
+        "rebuild": rebuild,
+        "speedup": incremental["updates_per_s"] / rebuild["updates_per_s"]
+        if rebuild["updates_per_s"]
+        else float("inf"),
+        "final_report": {
+            "k_star": final.k_star,
+            "updates_applied": final.report.updates_applied,
+            "affected_vertices": final.report.affected_vertices,
+            "incremental_fraction": final.report.incremental_fraction,
+            "rebuilds": final.report.rebuilds,
+        },
+    }
+
+
+def run_stream_bench(seed: int = 0, workloads=_WORKLOADS) -> dict:
+    """Run the streaming benches; return the ``BENCH_stream.json`` payload.
+
+    ``workloads`` overrides the measured ``(label, batch_size,
+    num_batches)`` triples — the committed baseline always uses the
+    default; tests pass a tiny stream.
+    """
+    graph = load_undirected(_DATASET)
+    workloads = {
+        label: _run_workload(graph, batch_size, num_batches, seed)
+        for label, batch_size, num_batches in workloads
+    }
+    return {
+        "schema": 1,
+        "workload": {
+            "dataset": _DATASET,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "seed": seed,
+        },
+        "workloads": workloads,
+    }
+
+
+#: Deterministic per-workload counters pinned exactly against the
+#: committed baseline (pure functions of the seeded stream).
+_PINNED = (
+    "rebuilds",
+    "incremental_refreshes",
+    "affected_total",
+    "total_sweeps",
+)
+
+
+def check_regression(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Compare a fresh payload against the committed baseline.
+
+    Absolute gates first (the ≥ 3x small-batch floor, bit-identity, the
+    large-batch fallback firing), then exact pins on the deterministic
+    maintenance counters, then baseline-relative speedup with
+    ``tolerance`` headroom.
+    """
+    failures: list[str] = []
+    bound = 1.0 + tolerance
+
+    small = current["workloads"]["small_batch"]
+    if small["speedup"] < STREAM_SPEEDUP_FLOOR:
+        failures.append(
+            f"small-batch incremental speedup {small['speedup']:.2f}x is "
+            f"below the {STREAM_SPEEDUP_FLOOR:.1f}x acceptance floor"
+        )
+    large = current["workloads"]["large_batch"]
+    if large["incremental"]["rebuilds"] <= 0:
+        failures.append(
+            "large-batch workload must exercise the full-rebuild fallback "
+            f"(saw {large['incremental']['rebuilds']} rebuilds)"
+        )
+    for label, cell in current["workloads"].items():
+        if not cell["bit_identical"]:
+            failures.append(f"{label}: modes were not bit-identical")
+    for label, cell in current["workloads"].items():
+        base_cell = baseline["workloads"][label]["incremental"]
+        for counter in _PINNED:
+            if cell["incremental"][counter] != base_cell[counter]:
+                failures.append(
+                    f"{label} deterministic counter {counter} drifted: "
+                    f"{cell['incremental'][counter]} vs committed "
+                    f"{base_cell[counter]}"
+                )
+        cur, base = cell["speedup"], baseline["workloads"][label]["speedup"]
+        if cur < base / bound:
+            failures.append(
+                f"{label} speedup regressed: {cur:.2f}x vs baseline "
+                f"{base:.2f}x (tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def render_stream_report(payload: dict) -> str:
+    """Readable summary of a stream-bench payload."""
+    workload = payload["workload"]
+    lines = [
+        f"stream bench ({workload['dataset']}: n={workload['num_vertices']}, "
+        f"m={workload['num_edges']}, sliding window)"
+    ]
+    for label, cell in payload["workloads"].items():
+        inc, reb = cell["incremental"], cell["rebuild"]
+        lines.append(
+            f"  {label:<11}: batches {cell['num_batches']:>3} x "
+            f"{cell['batch_size']:>4}+{cell['batch_size']:<4} | "
+            f"rebuild {reb['updates_per_s']:8.1f} up/s | incremental "
+            f"{inc['updates_per_s']:8.1f} up/s | {cell['speedup']:6.2f}x | "
+            f"fallbacks {inc['rebuilds']} | "
+            f"identical at {cell['checkpoints']} checkpoints"
+        )
+    return "\n".join(lines)

@@ -57,6 +57,7 @@ def _core_density(graph: UndirectedGraph, vertices: np.ndarray) -> float:
     supports_runtime=True,
     supports_frontier=True,
     supports_sanitize=True,
+    supports_streaming=True,
 )
 def pkmc(
     graph: UndirectedGraph,

@@ -9,6 +9,7 @@ from .registry import (
     load_directed,
     load_undirected,
 )
+from .stream import StreamBatch, sliding_window_stream
 from .synth import sample_zipf, zipf_weights
 
 __all__ = [
@@ -21,4 +22,6 @@ __all__ = [
     "load_directed",
     "zipf_weights",
     "sample_zipf",
+    "StreamBatch",
+    "sliding_window_stream",
 ]

@@ -31,7 +31,7 @@ from ..store.memo import (
     enable_default_cache,
 )
 from .context import ExecutionContext
-from .report import RunReport, attach_serve_stats
+from .report import RunReport, attach_serve_stats, attach_stream_stats
 from .runner import registry_table, resolve_solver, run
 from .spec import (
     SolverSpec,
@@ -51,6 +51,7 @@ __all__ = [
     "disable_default_cache",
     "RunReport",
     "attach_serve_stats",
+    "attach_stream_stats",
     "SolverSpec",
     "MethodsView",
     "run",

@@ -19,7 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.simruntime import SimRuntime
     from .spec import SolverSpec
 
-__all__ = ["RunReport", "attach_serve_stats"]
+__all__ = ["RunReport", "attach_serve_stats", "attach_stream_stats"]
 
 
 def _shard_fields(result: Any, graph: Any) -> dict[str, int]:
@@ -85,6 +85,16 @@ class RunReport:
     (1 = no duplicate attached). They are stamped through
     :func:`attach_serve_stats` — reports stay engine-owned (lint rule
     R012) and the stamping never changes the solver-outcome fields.
+
+    The streaming fields are zero outside :mod:`repro.stream`:
+    ``updates_applied`` is how many edge mutations the maintained
+    structure has absorbed so far, ``affected_vertices`` how many
+    vertices all its refreshes re-converged in total (a full rebuild
+    counts all n), ``incremental_fraction`` the fraction of refreshes
+    served by the localized path rather than a rebuild, and
+    ``rebuilds`` the full-rebuild count (fallbacks included).  They are
+    stamped through :func:`attach_stream_stats`, the streaming
+    counterpart of :func:`attach_serve_stats`.
     """
 
     solver: str
@@ -108,6 +118,10 @@ class RunReport:
     queue_wait_s: float = 0.0
     batch_size: int = 0
     coalesced: int = 0
+    updates_applied: int = 0
+    affected_vertices: int = 0
+    incremental_fraction: float = 0.0
+    rebuilds: int = 0
     breakdown: dict[str, float] = field(default_factory=dict)
 
     @classmethod
@@ -192,6 +206,10 @@ class RunReport:
             "queue_wait_s": self.queue_wait_s,
             "batch_size": self.batch_size,
             "coalesced": self.coalesced,
+            "updates_applied": self.updates_applied,
+            "affected_vertices": self.affected_vertices,
+            "incremental_fraction": self.incremental_fraction,
+            "rebuilds": self.rebuilds,
             "breakdown": dict(self.breakdown),
         }
 
@@ -226,5 +244,47 @@ def attach_serve_stats(
         queue_wait_s=queue_wait_s,
         batch_size=batch_size,
         coalesced=coalesced,
+    )
+    return result
+
+
+def attach_stream_stats(
+    result: Any,
+    *,
+    spec: "SolverSpec",
+    updates_applied: int,
+    affected_vertices: int,
+    incremental_fraction: float,
+    rebuilds: int,
+    graph: Any = None,
+    cache_hit: bool = False,
+) -> Any:
+    """Stamp streaming-layer fields onto ``result``'s report, in place.
+
+    The one sanctioned way for :mod:`repro.stream` to annotate a
+    maintained answer (reports are engine-owned — lint rule R012).
+    Unlike the serving layer, a streaming query never went through
+    ``engine.run`` — the answer comes warm from the maintained
+    structure — so when ``result`` carries no report yet one is built
+    first with :meth:`RunReport.from_run` (pass ``graph`` to record its
+    resident size).  Only the streaming fields and ``cache_hit`` are
+    then replaced; the solver-outcome fields stay whatever the
+    construction produced.  Returns ``result`` for chaining.
+    """
+    if updates_applied < 0 or affected_vertices < 0 or rebuilds < 0:
+        raise ValueError("streaming counters must be non-negative")
+    if not 0.0 <= incremental_fraction <= 1.0:
+        raise ValueError("incremental_fraction must be within [0, 1]")
+    if result.report is None:
+        result.report = RunReport.from_run(spec, result, graph=graph)
+    from dataclasses import replace
+
+    result.report = replace(
+        result.report,
+        cache_hit=cache_hit,
+        updates_applied=updates_applied,
+        affected_vertices=affected_vertices,
+        incremental_fraction=incremental_fraction,
+        rebuilds=rebuilds,
     )
     return result

@@ -72,6 +72,15 @@ class SolverSpec:
     monolithic graph for solvers without it — so it is deliberately
     absent from :meth:`capability_flags` and the contracts manifest."""
 
+    supports_streaming: bool = False
+    """Whether the solver's answer can be maintained incrementally under
+    edge mutations (``repro.stream`` wraps it in a warm-started
+    :class:`~repro.core.dynamic.DynamicKStarCore` session instead of
+    re-running it per batch).  Like ``supports_shards`` this is not a
+    context-forwarding capability — the engine never passes a stream to
+    a solver — so it is deliberately absent from
+    :meth:`capability_flags` and the contracts manifest."""
+
     default_options: dict[str, Any] = field(default_factory=dict)
     summary: str = ""
 
@@ -147,6 +156,7 @@ def register_solver(
     supports_seed: bool = False,
     supports_cluster: bool = False,
     supports_shards: bool = False,
+    supports_streaming: bool = False,
     default_options: dict[str, Any] | None = None,
     summary: str = "",
 ) -> Callable[[Callable], Callable]:
@@ -173,6 +183,7 @@ def register_solver(
             supports_seed=supports_seed,
             supports_cluster=supports_cluster,
             supports_shards=supports_shards,
+            supports_streaming=supports_streaming,
             default_options=dict(default_options or {}),
             summary=summary,
         )

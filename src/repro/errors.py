@@ -20,6 +20,17 @@ class GraphFormatError(GraphError):
     """Raised when parsing an on-disk graph representation fails."""
 
 
+class StreamMutationError(GraphError, ValueError):
+    """Raised for invalid streamed edge mutations (self-loop, bad ids).
+
+    The streaming layer validates whole batches *before* applying any of
+    them, so a raised batch leaves the maintained edge set untouched.
+    Inherits :class:`ValueError` as well as :class:`GraphError`: callers
+    treating malformed update payloads as plain bad arguments and callers
+    catching library graph errors both work.
+    """
+
+
 class EmptyGraphError(GraphError):
     """Raised when an algorithm requires a non-empty graph but got none.
 

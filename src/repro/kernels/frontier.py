@@ -90,6 +90,7 @@ def frontier_synchronous_sweep(
     h: np.ndarray,
     frontier: np.ndarray | None = None,
     runtime: "SimRuntime | None" = None,
+    clamp: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One Jacobi sweep restricted to ``frontier``; return ``(new_h, next)``.
 
@@ -98,6 +99,16 @@ def frontier_synchronous_sweep(
     vertices whose value may change in the following sweep: the
     neighbours of every vertex that changed in this one.  An empty
     ``next`` certifies the fixed point.
+
+    ``clamp=True`` takes ``min(old, recomputed)``, making the iteration
+    monotone decreasing from *any* pointwise upper bound of the core
+    numbers — not just the degrees.  The streaming layer's warm-started
+    rebuild (:mod:`repro.core.dynamic`) needs this: a warm bound can
+    transiently rise under the raw operator at insertion endpoints,
+    which the decrease-only frontier tracking would not propagate.
+    Started from the degrees the clamp is an exact no-op (one sweep of
+    the operator never exceeds them), so cold starts are bit-identical
+    either way.
     """
     n = graph.num_vertices
     if n == 0:
@@ -107,6 +118,8 @@ def frontier_synchronous_sweep(
         from ..core.hindex import synchronous_sweep
 
         new_h = synchronous_sweep(graph, h, runtime=runtime)
+        if clamp:
+            new_h = np.minimum(new_h, h)
         changed = np.flatnonzero(new_h < h)
     else:
         frontier = np.asarray(frontier, dtype=np.int64)
@@ -117,7 +130,8 @@ def frontier_synchronous_sweep(
 
             def frontier_body(i, old, new):
                 v = int(frontier[i])
-                new[v] = _scalar_h_index(old[indices[indptr[v]:indptr[v + 1]]])
+                value = _scalar_h_index(old[indices[indptr[v]:indptr[v + 1]]])
+                new[v] = min(old[v], value) if clamp else value
 
             runtime.observe_parfor(
                 frontier.size,
@@ -126,9 +140,12 @@ def frontier_synchronous_sweep(
                 label="frontier_synchronous_sweep",
             )
         else:
-            new_h[frontier] = hindex_sweep_values(graph, h, frontier).astype(
+            values = hindex_sweep_values(graph, h, frontier).astype(
                 h.dtype, copy=False
             )
+            if clamp:
+                values = np.minimum(values, h[frontier])
+            new_h[frontier] = values
         changed = frontier[new_h[frontier] < h[frontier]]
     return new_h, _neighbors_of(graph, changed)
 
@@ -173,6 +190,7 @@ def frontier_inplace_sweep(
     dirty: np.ndarray | None = None,
     batches: list[np.ndarray] | None = None,
     runtime: "SimRuntime | None" = None,
+    clamp: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One Gauss–Seidel sweep over the dirty set, updating ``h`` in place.
 
@@ -187,6 +205,14 @@ def frontier_inplace_sweep(
     with the fresh value — the array evolution matches plain sequential
     Gauss–Seidel sweep for sweep, only skipping recomputations that are
     provably identity.
+
+    ``clamp=True`` takes ``min(old, recomputed)`` instead of the raw
+    recomputation, making every change a decrease.  The localized
+    streaming refresh (:mod:`repro.core.dynamic`) relies on this: over a
+    *sub*-region with frozen boundary values the unclamped iteration may
+    transiently increase values, and the clamp is what guarantees
+    termination while still ending at the exact fixed point
+    (docs/streaming.md).  The default reproduces plain Gauss–Seidel.
     """
     n = graph.num_vertices
     if batches is None:
@@ -206,15 +232,19 @@ def frontier_inplace_sweep(
 
             def batch_body(i, h_arr, members=members):
                 v = int(members[i])
-                h_arr[v] = _scalar_h_index(h_arr[indices[indptr[v]:indptr[v + 1]]])
+                value = _scalar_h_index(h_arr[indices[indptr[v]:indptr[v + 1]]])
+                h_arr[v] = min(h_arr[v], value) if clamp else value
 
             runtime.observe_parfor(
                 members.size, batch_body, {"h_arr": h}, label="frontier_inplace_batch"
             )
         else:
-            h[members] = hindex_sweep_values(graph, h, members).astype(
+            values = hindex_sweep_values(graph, h, members).astype(
                 h.dtype, copy=False
             )
+            if clamp:
+                values = np.minimum(values, old_values)
+            h[members] = values
         changed = members[h[members] < old_values]
         if changed.size:
             dirty[_neighbors_of(graph, changed)] = True

@@ -54,6 +54,9 @@ __all__ = [
     "read_edges_vectorized",
     "save_snapshot",
     "load_snapshot",
+    "save_delta",
+    "load_delta",
+    "replay_delta",
     "save_sharded",
     "load_sharded",
     "shard_bounds",
@@ -72,6 +75,9 @@ _LAZY = {
     "read_edges_vectorized": "reader",
     "save_snapshot": "snapshot",
     "load_snapshot": "snapshot",
+    "save_delta": "snapshot",
+    "load_delta": "snapshot",
+    "replay_delta": "snapshot",
     "save_sharded": "shard",
     "load_sharded": "shard",
     "shard_bounds": "shard",

@@ -163,6 +163,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.expired = 0
+        self.invalidated = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -223,13 +224,36 @@ class ResultCache:
         self.expired += len(dead)
         return len(dead)
 
+    def invalidate_fingerprint(self, fingerprint: str) -> int:
+        """Drop every entry keyed to one graph fingerprint; return the count.
+
+        Fingerprint-granular invalidation for the streaming layer: when a
+        maintained graph mutates away from a state, the session retires
+        that state's entries without touching results cached for *other*
+        graphs (``clear()`` would).  Every cache key built by
+        :func:`make_cache_key` — and the streaming session's own keys —
+        leads with the graph fingerprint, so matching ``key[0]`` is
+        exact.  Dropped entries accumulate in the ``invalidated``
+        counter (reset by :meth:`clear`).
+        """
+        dead = [
+            key for key in self._entries
+            if key and key[0] == fingerprint
+        ]
+        for key in dead:
+            del self._entries[key]
+            del self._stamps[key]
+        self.invalidated += len(dead)
+        return len(dead)
+
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss/expired counters."""
+        """Drop every entry and reset the hit/miss/expired/invalidated counters."""
         self._entries.clear()
         self._stamps.clear()
         self.hits = 0
         self.misses = 0
         self.expired = 0
+        self.invalidated = 0
 
 
 _DEFAULT_CACHE: Optional[ResultCache] = None

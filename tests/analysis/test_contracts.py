@@ -34,6 +34,9 @@ RULE_FIXTURES = [
     # R014 is likewise path-scoped: it exempts repro/store/shard, so the
     # fixture plants its violations under a repro/distributed/ path.
     ("R014", "repro/distributed/r014_shard_access.py"),
+    # R015 exempts repro/core and repro/stream, so the fixture plants
+    # its violations under a repro/serve/ path.
+    ("R015", "repro/serve/r015_stream_mutation.py"),
 ]
 
 
@@ -250,3 +253,51 @@ class TestR014ShardAccess:
     def test_live_tree_is_clean(self):
         # Nothing outside the shard store opens shard members raw.
         assert LintEngine(select=["R014"]).lint_paths([SRC_ROOT]) == []
+
+
+class TestR015StreamMutation:
+    """R015 exempts repro/core and repro/stream; everywhere else is in scope."""
+
+    POKE = "def hack(tracker):\n    tracker._edge_set.add((0, 1))\n"
+
+    def test_fires_outside_stream_stack(self):
+        for path in (
+            "src/repro/serve/server.py",
+            "src/repro/bench/stream.py",
+            "tests/stream/test_session.py",  # tests stay fair game
+        ):
+            findings = LintEngine(select=["R015"]).lint_source(
+                self.POKE, path=path
+            )
+            assert [f.rule_id for f in findings] == ["R015"], path
+            assert "_edge_set" in findings[0].message
+
+    def test_silent_inside_stream_stack(self):
+        for path in (
+            "src/repro/core/dynamic.py",
+            "src/repro/stream/session.py",
+        ):
+            assert LintEngine(select=["R015"]).lint_source(
+                self.POKE, path=path
+            ) == [], path
+
+    def test_reads_not_flagged(self):
+        source = (
+            "def peek(tracker):\n"
+            "    return tracker._h.copy(), len(tracker._edge_set)\n"
+        )
+        assert LintEngine(select=["R015"]).lint_source(
+            source, path="src/repro/serve/server.py"
+        ) == []
+
+    def test_subscripted_write_flagged(self):
+        source = "def hack(tracker):\n    tracker._h[3] = 0\n"
+        findings = LintEngine(select=["R015"]).lint_source(
+            source, path="src/repro/engine/runner.py"
+        )
+        assert [f.rule_id for f in findings] == ["R015"]
+
+    def test_live_tree_is_clean(self):
+        # Nothing outside repro/core and repro/stream pokes the
+        # maintainer's internals.
+        assert LintEngine(select=["R015"]).lint_paths([SRC_ROOT]) == []

@@ -115,22 +115,31 @@ class TestCoreMaintenance:
         assert tracker.total_sweeps - sweeps_initial <= sweeps_initial + 1
 
     def test_batching_amortises_refreshes(self):
-        # The real win: 60 mutations + 1 query = 1 refresh, not 60.
+        # In rebuild mode (the bench baseline) batching is the only
+        # amortization: 60 mutations + 1 query = 1 refresh, not 60.
+        # Incremental mode spreads the same work over per-update local
+        # sweeps instead, so the claim is pinned on incremental=False.
         g = gnm_random_undirected(300, 900, seed=4)
         edges = g.edges()
-        eager = DynamicKStarCore(300)
+        eager = DynamicKStarCore(300, incremental=False)
         eager.insert_edges(edges[:840])
         eager.core_numbers()
         for u, v in edges[840:]:
             eager.insert_edge(int(u), int(v))
             eager.core_numbers()          # query after every edge
-        lazy = DynamicKStarCore(300)
+        lazy = DynamicKStarCore(300, incremental=False)
         lazy.insert_edges(edges[:840])
         lazy.core_numbers()
         lazy.insert_edges(edges[840:])    # one batch, one refresh
         lazy.core_numbers()
         assert np.array_equal(lazy.core_numbers(), eager.core_numbers())
         assert lazy.total_sweeps < eager.total_sweeps / 3
+        # The incremental path lands on the same cores either way.
+        incr = DynamicKStarCore(300)
+        incr.insert_edges(edges[:840])
+        incr.core_numbers()
+        incr.insert_edges(edges[840:])
+        assert np.array_equal(incr.core_numbers(), eager.core_numbers())
 
     def test_empty_densest_rejected(self):
         tracker = DynamicKStarCore(3)
@@ -147,3 +156,61 @@ class TestCoreMaintenance:
         assert tracker.total_sweeps == sweeps_before
         tracker.k_star()
         assert tracker.total_sweeps > sweeps_before
+
+class TestBatchValidation:
+    """ISSUE 10 satellites: batch mutators and their atomicity contract."""
+
+    def test_delete_edges_counts_present_only(self):
+        tracker = DynamicKStarCore(5)
+        tracker.insert_edges([(0, 1), (1, 2), (2, 3)])
+        removed = tracker.delete_edges([(1, 0), (2, 3), (3, 4)])
+        assert removed == 2
+        assert tracker.num_edges == 1
+
+    def test_stream_mutation_error_is_a_value_error(self):
+        # Callers treating bad payloads as plain bad arguments and
+        # callers catching the graph-error hierarchy both work.
+        tracker = DynamicKStarCore(3)
+        with pytest.raises(ValueError):
+            tracker.insert_edges([(0, 0)])
+        with pytest.raises(GraphError):
+            tracker.insert_edges([(0, 7)])
+
+    def test_error_messages_point_at_the_offender(self):
+        tracker = DynamicKStarCore(3)
+        with pytest.raises(GraphError, match=r"\(1, 1\).*self-loop"):
+            tracker.insert_edge(1, 1)
+        with pytest.raises(GraphError, match=r"\(0, 5\).*out of range"):
+            tracker.delete_edge(0, 5)
+
+    def test_poisoned_batch_applies_nothing(self):
+        tracker = DynamicKStarCore(4)
+        tracker.insert_edges([(0, 1)])
+        fingerprint = tracker.graph().fingerprint()
+        with pytest.raises(ValueError):
+            tracker.insert_edges([(1, 2), (3, 3)])
+        with pytest.raises(ValueError):
+            tracker.delete_edges([(0, 1), (0, 9)])
+        assert tracker.num_edges == 1
+        assert tracker.graph().fingerprint() == fingerprint
+
+    def test_delete_nonexistent_is_a_counted_noop(self):
+        tracker = DynamicKStarCore(4)
+        tracker.insert_edges([(0, 1), (1, 2)])
+        tracker.k_star()
+        sweeps = tracker.total_sweeps
+        assert tracker.delete_edges([(0, 2), (2, 3)]) == 0
+        # nothing changed: the next query spends no further sweeps
+        tracker.k_star()
+        assert tracker.total_sweeps == sweeps
+
+    def test_empty_batch_does_not_bump_the_fingerprint(self):
+        tracker = DynamicKStarCore(4)
+        tracker.insert_edges([(0, 1), (1, 2)])
+        fingerprint = tracker.graph().fingerprint()
+        stats = dict(tracker.stats())
+        assert tracker.insert_edges([]) == 0
+        assert tracker.delete_edges([]) == 0
+        assert tracker.insert_edges([(0, 1)]) == 0  # duplicate: also a no-op
+        assert tracker.graph().fingerprint() == fingerprint
+        assert tracker.stats() == stats

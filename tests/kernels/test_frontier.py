@@ -172,3 +172,74 @@ class TestInplaceFrontier:
                 break
         assert sizes[-1] == 0
         assert sizes[0] == graph.num_vertices
+
+class TestClampedSweeps:
+    """clamp=True: monotone-decreasing iteration from any upper bound."""
+
+    def converge_sync(self, graph, h, clamp):
+        active = None
+        for _ in range(graph.num_vertices + 2):
+            h, active = frontier_synchronous_sweep(
+                graph, h, frontier=active, clamp=clamp
+            )
+            if active.size == 0:
+                return h
+        raise AssertionError("sweep did not converge")
+
+    def cores(self, graph):
+        return self.converge_sync(graph, graph.degrees().astype(np.int64), False)
+
+    def test_cold_start_is_unaffected(self, graph):
+        # From the degrees the raw operator is already monotone
+        # decreasing, so clamping changes nothing — sweep for sweep.
+        h_plain = graph.degrees().astype(np.int64)
+        h_clamp = h_plain.copy()
+        active_plain = active_clamp = None
+        for _ in range(graph.num_vertices + 2):
+            h_plain, active_plain = frontier_synchronous_sweep(
+                graph, h_plain, frontier=active_plain
+            )
+            h_clamp, active_clamp = frontier_synchronous_sweep(
+                graph, h_clamp, frontier=active_clamp, clamp=True
+            )
+            assert np.array_equal(h_plain, h_clamp)
+            assert np.array_equal(np.sort(active_plain), np.sort(active_clamp))
+            if active_plain.size == 0:
+                break
+
+    def test_warm_non_degree_bound_converges_to_the_cores(self, graph):
+        # A warm bound that is NOT the degree vector (cores + noise on a
+        # few vertices): clamped iteration still lands exactly on the
+        # fixed point.  This is the streaming rebuild's starting state.
+        cores = self.cores(graph)
+        rng = np.random.default_rng(0)
+        warm = cores + rng.integers(0, 3, size=cores.size)
+        np.minimum(warm, graph.degrees().astype(np.int64), out=warm)
+        assert np.array_equal(self.converge_sync(graph, warm.copy(), True), cores)
+
+    def test_clamped_inplace_sweep_matches(self, graph):
+        cores = self.cores(graph)
+        rng = np.random.default_rng(1)
+        warm = cores + rng.integers(0, 3, size=cores.size)
+        np.minimum(warm, graph.degrees().astype(np.int64), out=warm)
+        h = warm.copy()
+        dirty = None
+        for _ in range(graph.num_vertices + 2):
+            h, dirty, processed = frontier_inplace_sweep(
+                graph, h, dirty=dirty, clamp=True
+            )
+            if not dirty.any():
+                break
+        assert np.array_equal(h, cores)
+
+    def test_clamp_never_exceeds_the_start(self, graph):
+        start = graph.degrees().astype(np.int64) + 5  # a loose upper bound
+        h, active = frontier_synchronous_sweep(graph, start.copy(), clamp=True)
+        assert np.all(h <= start)
+        while active.size:
+            prev = h.copy()
+            h, active = frontier_synchronous_sweep(
+                graph, h, frontier=active, clamp=True
+            )
+            assert np.all(h <= prev)
+        assert np.array_equal(h, self.cores(graph))

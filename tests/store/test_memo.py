@@ -348,3 +348,49 @@ class TestDefaultCacheLifecycle:
         disable_default_cache()
         hit = engine_run("pkmc", graph, ExecutionContext(cache=private))
         assert hit.report.cache_hit  # per-context caches outlive the default
+
+class TestFingerprintInvalidation:
+    """Streaming-layer invalidation: fingerprint-granular, counted."""
+
+    def test_drops_only_matching_fingerprint_keys(self, graph):
+        cache = ResultCache()
+        result = engine_run("pkmc", graph, ExecutionContext())
+        fp = graph.fingerprint()
+        cache.put((fp, "uds", "pkmc"), result)
+        cache.put((fp, "uds", "pkmc", "stream"), result)
+        cache.put(("other-fp", "uds", "pkmc"), result)
+        assert cache.invalidate_fingerprint(fp) == 2
+        assert cache.invalidated == 2
+        assert len(cache) == 1
+        assert cache.get(("other-fp", "uds", "pkmc")) is not None
+        # idempotent: nothing left under that fingerprint
+        assert cache.invalidate_fingerprint(fp) == 0
+        assert cache.invalidated == 2
+
+    def test_clear_resets_the_invalidated_counter(self, graph):
+        cache = ResultCache()
+        result = engine_run("pkmc", graph, ExecutionContext())
+        cache.put((graph.fingerprint(), "uds", "pkmc"), result)
+        cache.invalidate_fingerprint(graph.fingerprint())
+        assert cache.invalidated == 1
+        cache.clear()
+        assert cache.invalidated == 0
+
+    def test_delete_then_reinsert_restores_the_entry(self):
+        # The mirror image of TestEngineIntegration's insert-then-delete:
+        # removing an edge and putting it back returns the graph to its
+        # original fingerprint, so the original cache entry re-hits.
+        core = DynamicKStarCore(6)
+        core.insert_edges(EDGES)
+        cache = ResultCache()
+        original = core.graph().fingerprint()
+        engine_run("pkmc", core.graph(), ExecutionContext(cache=cache))
+
+        assert core.delete_edge(1, 3)
+        smaller = engine_run("pkmc", core.graph(), ExecutionContext(cache=cache))
+        assert not smaller.report.cache_hit
+
+        assert core.insert_edge(1, 3)
+        assert core.graph().fingerprint() == original
+        restored = engine_run("pkmc", core.graph(), ExecutionContext(cache=cache))
+        assert restored.report.cache_hit

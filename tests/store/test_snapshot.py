@@ -184,3 +184,121 @@ class TestDirectoryInputs:
         save_sharded(undirected, tmp_path, shards=2)
         with pytest.raises(GraphFormatError, match="load_sharded"):
             load_snapshot(tmp_path)
+
+class TestDelta:
+    """Edge-delta logs: bit-identical replay and strict validation."""
+
+    def delta_path(self, tmp_path):
+        return tmp_path / "graph.delta.npz"
+
+    def test_replay_is_bit_identical_to_fresh_build(self, undirected, tmp_path):
+        from repro.store.snapshot import replay_delta, save_delta
+
+        path = self.delta_path(tmp_path)
+        ops = [(+1, 1, 4), ("+", 0, 5), (-1, 2, 3), ("-", 0, 1)]
+        assert save_delta(path, undirected.fingerprint(), ops) == 4
+        replayed = replay_delta(undirected, path)
+
+        edge_set = {tuple(e) for e in undirected.edges()}
+        edge_set |= {(1, 4), (0, 5)}
+        edge_set -= {(2, 3), (0, 1)}
+        reference = UndirectedGraph.from_edges(
+            undirected.num_vertices, sorted(edge_set)
+        )
+        assert np.array_equal(replayed.indptr, reference.indptr)
+        assert np.array_equal(replayed.indices, reference.indices)
+        assert replayed.indptr.dtype == reference.indptr.dtype
+        assert replayed.indices.dtype == reference.indices.dtype
+        assert replayed.fingerprint() == reference.fingerprint()
+
+    def test_empty_log_replays_to_the_base(self, undirected, tmp_path):
+        from repro.store.snapshot import replay_delta, save_delta
+
+        path = self.delta_path(tmp_path)
+        assert save_delta(path, undirected.fingerprint(), []) == 0
+        assert replay_delta(undirected, path).fingerprint() == (
+            undirected.fingerprint()
+        )
+
+    def test_unknown_op_is_rejected_at_save(self, undirected, tmp_path):
+        from repro.errors import GraphError
+        from repro.store.snapshot import save_delta
+
+        with pytest.raises(GraphError, match="unknown delta op"):
+            save_delta(
+                self.delta_path(tmp_path), undirected.fingerprint(),
+                [(0, 1, 2)],
+            )
+
+    def test_wrong_base_fingerprint_is_rejected(self, undirected, tmp_path):
+        from repro.store.snapshot import replay_delta, save_delta
+
+        path = self.delta_path(tmp_path)
+        save_delta(path, "not-the-base", [(+1, 1, 4)])
+        with pytest.raises(GraphFormatError, match="does not match"):
+            replay_delta(undirected, path)
+
+    def test_log_that_contradicts_the_base_is_rejected(
+        self, undirected, tmp_path
+    ):
+        from repro.store.snapshot import replay_delta, save_delta
+
+        path = self.delta_path(tmp_path)
+        cases = [
+            ([(+1, 0, 1)], "already present"),
+            ([(-1, 0, 4)], "absent"),
+            ([(+1, 2, 2)], "invalid delta edge"),
+            ([(-1, 0, 99)], "invalid delta edge"),
+        ]
+        for ops, needle in cases:
+            save_delta(path, undirected.fingerprint(), ops)
+            with pytest.raises(GraphFormatError, match=needle):
+                replay_delta(undirected, path)
+
+    def test_non_delta_file_is_rejected(self, undirected, tmp_path):
+        from repro.store.snapshot import load_delta
+
+        path = tmp_path / "graph.npz"
+        save_snapshot(undirected, path)
+        with pytest.raises(GraphFormatError, match="not an edge-delta log"):
+            load_delta(path)
+
+    def test_missing_fields_are_rejected(self, tmp_path):
+        from repro.store.snapshot import load_delta
+
+        path = self.delta_path(tmp_path)
+        np.savez(path, kind=np.array("delta"), ops=np.zeros(1, dtype=np.int8))
+        with pytest.raises(GraphFormatError, match="missing delta field"):
+            load_delta(path)
+
+    def test_inconsistent_shapes_are_rejected(self, tmp_path):
+        from repro.store.snapshot import load_delta
+
+        path = self.delta_path(tmp_path)
+        np.savez(
+            path,
+            kind=np.array("delta"),
+            format_version=np.array(1, dtype=np.int64),
+            base_fingerprint=np.array("abc"),
+            ops=np.array([1, -1], dtype=np.int8),
+            edges=np.array([[0, 1]], dtype=np.int64),
+        )
+        with pytest.raises(GraphFormatError, match="inconsistent delta arrays"):
+            load_delta(path)
+
+    def test_unreadable_file_is_rejected(self, tmp_path):
+        from repro.store.snapshot import load_delta
+
+        path = self.delta_path(tmp_path)
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(GraphFormatError, match="not a valid edge-delta log"):
+            load_delta(path)
+
+    def test_directed_base_is_rejected(self, directed, tmp_path):
+        from repro.errors import GraphError
+        from repro.store.snapshot import replay_delta, save_delta
+
+        path = self.delta_path(tmp_path)
+        save_delta(path, "whatever", [])
+        with pytest.raises(GraphError, match="UndirectedGraph base"):
+            replay_delta(directed, path)

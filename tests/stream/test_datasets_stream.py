@@ -1,0 +1,105 @@
+"""Sliding-window temporal streams: determinism, window invariants, errors."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import StreamBatch, sliding_window_stream
+from repro.errors import DatasetError
+from repro.graph import chung_lu_undirected
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return chung_lu_undirected(200, 700, seed=7)
+
+
+def replayed_window(initial, batches):
+    """Replay the stream over a set; assert every op is effective."""
+    window = {tuple(edge) for edge in initial}
+    assert len(window) == initial.shape[0]
+    for batch in batches:
+        for edge in batch.insertions:
+            assert tuple(edge) not in window  # every arrival genuinely new
+            window.add(tuple(edge))
+        for edge in batch.deletions:
+            assert tuple(edge) in window  # every expiry genuinely present
+            window.remove(tuple(edge))
+    return window
+
+
+class TestDeterminism:
+    def test_same_arguments_reproduce_the_stream(self, graph):
+        first = sliding_window_stream(graph, batch_size=5, seed=9)
+        second = sliding_window_stream(graph, batch_size=5, seed=9)
+        assert np.array_equal(first[0], second[0])
+        assert len(first[1]) == len(second[1])
+        for left, right in zip(first[1], second[1]):
+            assert left.step == right.step
+            assert np.array_equal(left.insertions, right.insertions)
+            assert np.array_equal(left.deletions, right.deletions)
+
+    def test_seed_changes_the_timeline(self, graph):
+        left, _ = sliding_window_stream(graph, batch_size=5, seed=0)
+        right, _ = sliding_window_stream(graph, batch_size=5, seed=1)
+        assert not np.array_equal(left, right)
+
+
+class TestWindowModel:
+    def test_window_size_is_constant(self, graph):
+        initial, batches = sliding_window_stream(
+            graph, window_fraction=0.75, batch_size=4, seed=2
+        )
+        assert initial.shape[0] == int(0.75 * graph.num_edges)
+        window = replayed_window(initial, batches)
+        assert len(window) == initial.shape[0]
+
+    def test_batches_cover_the_tail_of_the_timeline(self, graph):
+        initial, batches = sliding_window_stream(
+            graph, window_fraction=0.8, batch_size=8, seed=2
+        )
+        m = graph.num_edges
+        assert len(batches) == (m - initial.shape[0]) // 8
+        assert all(batch.size == 16 for batch in batches)
+        assert [batch.step for batch in batches] == list(range(len(batches)))
+
+    def test_num_batches_truncates_the_stream(self, graph):
+        _, batches = sliding_window_stream(
+            graph, batch_size=4, num_batches=3, seed=2
+        )
+        assert len(batches) == 3
+
+    def test_registry_abbreviation_is_accepted(self):
+        initial, batches = sliding_window_stream(
+            "PT", batch_size=16, num_batches=2, seed=0
+        )
+        assert initial.shape[0] > 0
+        assert len(batches) == 2
+        replayed_window(initial, batches)
+
+    def test_stream_batch_size_property(self):
+        batch = StreamBatch(
+            step=0,
+            insertions=np.zeros((3, 2), dtype=np.int64),
+            deletions=np.zeros((2, 2), dtype=np.int64),
+        )
+        assert batch.size == 5
+
+
+class TestValidation:
+    def test_window_fraction_bounds(self, graph):
+        for fraction in (0.0, 1.0, 1.5, -0.2):
+            with pytest.raises(DatasetError, match="window_fraction"):
+                sliding_window_stream(graph, window_fraction=fraction)
+
+    def test_batch_size_must_be_positive(self, graph):
+        with pytest.raises(DatasetError, match="batch_size"):
+            sliding_window_stream(graph, batch_size=0)
+
+    def test_too_many_batches_is_an_error(self, graph):
+        with pytest.raises(DatasetError, match="at most"):
+            sliding_window_stream(graph, batch_size=4, num_batches=10_000)
+
+    def test_empty_window_is_an_error(self):
+        tiny = chung_lu_undirected(30, 40, seed=1)
+        with pytest.raises(DatasetError, match="empty"):
+            sliding_window_stream(tiny, window_fraction=0.001)
